@@ -1,0 +1,43 @@
+(* Shared bench plumbing: run a list of Bechamel tests and print one
+   nanoseconds-per-run row each. *)
+open Bechamel
+open Toolkit
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+
+let run_tests ?(quota = 0.5) tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 500) ()
+  in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+  |> List.sort compare
+
+let ns_per_run est =
+  match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> nan
+
+let pretty_ns v =
+  if Float.is_nan v then "n/a"
+  else if v >= 1e9 then Printf.sprintf "%8.2f s " (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%8.2f ms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%8.2f µs" (v /. 1e3)
+  else Printf.sprintf "%8.0f ns" v
+
+let print_rows ?quota tests =
+  List.iter
+    (fun (name, est) ->
+      Printf.printf "  %-44s %s\n%!" name (pretty_ns (ns_per_run est)))
+    (run_tests ?quota tests)
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* Wall-clock for one-shot measurements (too slow to repeat). *)
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+dev/smoke/smoke.ml: Compile List Naive Printf Sformula Strdb_calculus Strdb_fsa Strdb_util String Window

@@ -1,0 +1,1 @@
+dev/smoke/smoke.mli:

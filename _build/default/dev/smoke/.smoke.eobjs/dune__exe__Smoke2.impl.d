@@ -1,0 +1,1 @@
+dev/smoke/smoke2.ml: Combinators Compile Database Decompile Formula List Naive Printf Sformula Strdb_calculus Strdb_fsa Strdb_util String Window

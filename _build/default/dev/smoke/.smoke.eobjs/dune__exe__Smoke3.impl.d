@@ -1,0 +1,1 @@
+dev/smoke/smoke3.ml: Grammar Lba List Printf Qbf Regular Strdb_automata Strdb_baselines Strdb_calculus Strdb_encodings Strdb_fsa Strdb_util Turing

@@ -1,0 +1,1 @@
+dev/smoke/smoke4.ml: Alphabet Combinators Compile Crossing Format Fsa Generate List Printf Run Sformula Strdb String Strutil Symbol Window

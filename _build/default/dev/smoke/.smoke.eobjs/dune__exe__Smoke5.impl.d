@@ -1,0 +1,1 @@
+dev/smoke/smoke5.ml: Alphabet Combinators Compile Fsa Limitation Printf Strdb Unix

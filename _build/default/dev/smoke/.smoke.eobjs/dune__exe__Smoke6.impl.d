@@ -1,0 +1,1 @@
+dev/smoke/smoke6.ml: Alphabet Combinators Compile Limitation List Naive Printf Run Strdb Strutil

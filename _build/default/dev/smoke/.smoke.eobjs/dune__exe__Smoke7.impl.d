@@ -1,0 +1,1 @@
+dev/smoke/smoke7.ml: Printf Strdb Unix

@@ -1,0 +1,105 @@
+open Strdb_calculus
+module A = Strdb_util.Alphabet
+module W = Window
+module S = Sformula
+module U = Strdb_util.Strutil
+
+let check name sigma vars phi expected max_len =
+  let fsa = Compile.compile sigma ~vars phi in
+  Printf.printf "%-16s FSA: %3d states %4d transitions : " name
+    fsa.Strdb_fsa.Fsa.num_states (Strdb_fsa.Fsa.size fsa);
+  let all = U.all_strings_upto sigma max_len in
+  let mism = ref 0 and total = ref 0 in
+  let rec tuples = function
+    | [] -> [ [] ]
+    | _ :: rest -> List.concat_map (fun t -> List.map (fun w -> w :: t) all) (tuples rest)
+  in
+  List.iter
+    (fun tup ->
+      incr total;
+      let bind = List.combine vars tup in
+      let naive = Naive.holds phi bind in
+      let auto = Strdb_fsa.Run.accepts fsa tup in
+      let exp = expected tup in
+      if naive <> exp || auto <> exp then begin
+        incr mism;
+        if !mism <= 5 then
+          Printf.printf "\n  MISMATCH %s naive=%b auto=%b expected=%b"
+            (String.concat "," (List.map (Printf.sprintf "%S") tup))
+            naive auto exp
+      end)
+    (tuples vars);
+  Printf.printf "%d tuples, %d mismatches\n" !total !mism
+
+let () =
+  let sigma = A.binary in
+  let eq xy = S.star (S.left xy (W.all_eq xy)) in
+  let eq_end xy = S.left xy W.(all_eq xy && Is_empty (List.hd xy)) in
+  (* Example 2 *)
+  let eq_s = S.seq [ eq ["x";"y"]; eq_end ["x";"y"] ] in
+  check "equal_s" sigma ["x";"y"] eq_s (function [x;y] -> x = y | _ -> false) 3;
+  (* Example 4: manifold, x = y^k *)
+  let manifold =
+    S.seq
+      [
+        S.star
+          (S.seq
+             [
+               eq ["x";"y"];
+               S.left ["y"] (W.Is_empty "y");
+               S.star (S.right ["y"] (W.is_not_empty "y"));
+               S.right ["y"] (W.Is_empty "y");
+             ]);
+        eq ["x";"y"];
+        eq_end ["x";"y"];
+      ]
+  in
+  check "manifold" sigma ["x";"y"] manifold
+    (function [x;y] -> U.is_manifold x y | _ -> false) 3;
+  (* Example 5: x is a shuffle of y and z *)
+  let shuffle =
+    S.seq
+      [
+        S.star
+          (S.alt
+             [ S.left ["x";"y"] (W.Eq ("x","y")); S.left ["x";"z"] (W.Eq ("x","z")) ]);
+        S.left ["x";"y";"z"] W.(all_eq ["x";"y";"z"] && Is_empty "x");
+      ]
+  in
+  check "shuffle" sigma ["x";"y";"z"] shuffle
+    (function [x;y;z] -> U.is_shuffle x y z | _ -> false) 2;
+  (* Example 11 string part: x in a^n b^n c^n with counter y *)
+  let sigma3 = A.abc in
+  let anbncn =
+    S.seq
+      [
+        S.star (S.left ["x";"y"] W.(Is_char ("x",'a') && is_not_empty "y"));
+        S.left ["y"] (W.Is_empty "y");
+        S.star
+          (S.seq
+             [ S.left ["x"] W.True;
+               S.right ["y"] W.(Is_char ("x",'b') && is_not_empty "y") ]);
+        S.right ["y"] (W.Is_empty "y");
+        S.star (S.left ["x";"y"] W.(Is_char ("x",'c') && is_not_empty "y"));
+        S.left ["x";"y"] W.(Eq ("x","y") && Is_empty "x");
+      ]
+  in
+  let expect_anbncn = function
+    | [x; y] ->
+        let n = String.length y in
+        x = U.repeat "a" n ^ U.repeat "b" n ^ U.repeat "c" n
+    | _ -> false
+  in
+  check "anbncn" sigma3 ["x";"y"] anbncn expect_anbncn 3;
+  (* Nested stars and lambda edge cases *)
+  let nested = S.star (S.star (S.left ["x"] (W.Is_char ("x",'a')))) in
+  check "nested-star" sigma ["x"]
+    (S.seq [ nested; S.left ["x"] (W.Is_empty "x") ])
+    (function [x] -> String.for_all (fun c -> c = 'a') x | _ -> false) 4;
+  check "lambda" sigma ["x"] S.Lambda (fun _ -> true) 3;
+  check "star-empty" sigma ["x"] (S.star S.zero) (fun _ -> true) 3;
+  check "zero" sigma ["x"] S.zero (fun _ -> false) 3;
+  (* union with one empty side *)
+  check "union-zero" sigma ["x"]
+    (S.alt [ S.zero; S.seq [ S.left ["x"] (W.Is_char ("x",'b')); S.left ["x"] (W.Is_empty "x") ] ])
+    (function [x] -> x = "b" | _ -> false) 3

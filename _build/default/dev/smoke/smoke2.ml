@@ -1,0 +1,96 @@
+(* Round-trip and layer smoke tests: decompile, specialize, generate,
+   limitation, crossing. *)
+open Strdb_calculus
+module A = Strdb_util.Alphabet
+module W = Window
+module S = Sformula
+module U = Strdb_util.Strutil
+module F = Strdb_fsa.Fsa
+module Run = Strdb_fsa.Run
+
+let section name = Printf.printf "== %s ==\n%!" name
+
+let () =
+  let sigma = A.binary in
+  section "decompile round-trip (equal_s)";
+  let eq_s = Combinators.equal_s "x" "y" in
+  let fsa = Compile.compile sigma ~vars:[ "x"; "y" ] eq_s in
+  let phi' = Decompile.decompile fsa ~vars:[ "x"; "y" ] in
+  Printf.printf "decompiled size: %d\n" (S.size phi');
+  let all = U.all_strings_upto sigma 2 in
+  let bad = ref 0 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let direct = Run.accepts fsa [ x; y ] in
+          let via = Naive.holds phi' [ ("x", x); ("y", y) ] in
+          if direct <> via then begin
+            incr bad;
+            Printf.printf "  MISMATCH %S %S direct=%b via=%b\n" x y direct via
+          end)
+        all)
+    all;
+  Printf.printf "round-trip mismatches: %d\n" !bad;
+
+  section "specialize + generate (concat3)";
+  let c3 = Combinators.concat3 "x" "y" "z" in
+  (* tape order x,y,z; we want outputs x given inputs y z: reorder vars so
+     inputs come first. *)
+  let fsa_c3 = Compile.compile sigma ~vars:[ "y"; "z"; "x" ] c3 in
+  let outs = Strdb_fsa.Generate.outputs fsa_c3 ~inputs:[ "ab"; "ba" ] ~max_len:6 in
+  Printf.printf "outputs for y=ab z=ba: %s\n"
+    (String.concat " " (List.map (fun t -> String.concat "," t) outs));
+
+  section "limitation (unidirectional concat3: y,z limit x)";
+  (match Strdb_fsa.Limitation.analyze fsa_c3 ~inputs:[ 0; 1 ] ~outputs:[ 2 ] with
+  | Ok (Limited b) -> Printf.printf "LIMITED, W = %s ; W(2,2)=%d\n" b.formula (b.eval [ 2; 2 ])
+  | Ok (Unlimited r) -> Printf.printf "UNLIMITED: %s\n" r
+  | Error e -> Printf.printf "ERROR: %s\n" e);
+
+  section "limitation (proper_prefix: x does NOT limit y)";
+  let pp_f = Combinators.proper_prefix "x" "y" in
+  let fsa_pp = Compile.compile sigma ~vars:[ "x"; "y" ] pp_f in
+  (match Strdb_fsa.Limitation.analyze fsa_pp ~inputs:[ 0 ] ~outputs:[ 1 ] with
+  | Ok (Limited b) -> Printf.printf "LIMITED, W = %s (WRONG!)\n" b.formula
+  | Ok (Unlimited r) -> Printf.printf "UNLIMITED: %s (correct)\n" r
+  | Error e -> Printf.printf "ERROR: %s\n" e);
+
+  section "limitation (prefix: y limits x)";
+  let pfx = Combinators.prefix "x" "y" in
+  let fsa_pfx = Compile.compile sigma ~vars:[ "y"; "x" ] pfx in
+  (match Strdb_fsa.Limitation.analyze fsa_pfx ~inputs:[ 0 ] ~outputs:[ 1 ] with
+  | Ok (Limited b) -> Printf.printf "LIMITED, W = %s (correct)\n" b.formula
+  | Ok (Unlimited r) -> Printf.printf "UNLIMITED: %s (WRONG!)\n" r
+  | Error e -> Printf.printf "ERROR: %s\n" e);
+
+  section "limitation right-restricted (manifold: x limits y, y bidirectional)";
+  let mf = Combinators.manifold "x" "y" in
+  let fsa_mf = Compile.compile sigma ~vars:[ "x"; "y" ] mf in
+  Printf.printf "bidirectional tapes: %s\n"
+    (String.concat "," (List.map string_of_int (F.bidirectional_tapes fsa_mf)));
+  (match Strdb_fsa.Limitation.analyze fsa_mf ~inputs:[ 0 ] ~outputs:[ 1 ] with
+  | Ok (Limited b) -> Printf.printf "LIMITED, W = %s (correct)\n" b.formula
+  | Ok (Unlimited r) -> Printf.printf "UNLIMITED: %s (WRONG!)\n" r
+  | Error e -> Printf.printf "ERROR: %s\n" e);
+
+  section "limitation right-restricted (reverse manifold: y does NOT limit x)";
+  (match Strdb_fsa.Limitation.analyze fsa_mf ~inputs:[ 1 ] ~outputs:[ 0 ] with
+  | Ok (Limited b) -> Printf.printf "LIMITED, W = %s (WRONG!)\n" b.formula
+  | Ok (Unlimited r) -> Printf.printf "UNLIMITED: %s (correct)\n" r
+  | Error e -> Printf.printf "ERROR: %s\n" e);
+
+  section "formula layer: Example 3 query";
+  let db =
+    Database.of_list
+      [ ("R1", [ [ "a"; "b" ] ]); ("R2", [ [ "ab" ]; [ "ba" ]; [ "b" ] ]) ]
+  in
+  let q =
+    Formula.exists_many [ "y"; "z" ]
+      (Formula.and_list
+         [ Formula.Rel ("R1", [ "y"; "z" ]); Formula.Rel ("R2", [ "x" ]);
+           Formula.Str (Combinators.concat3 "x" "y" "z") ])
+  in
+  let ans = Formula.answers ~checker:(Formula.compiled_checker sigma) sigma db ~max_len:2 ~free:[ "x" ] q in
+  Printf.printf "answers: %s\n"
+    (String.concat " " (List.map (fun t -> String.concat "," t) ans))

@@ -1,0 +1,116 @@
+(* Encodings smoke tests: grammar/φ_G, TM→grammar, LBA, QBF, Theorem 6.1. *)
+open Strdb_encodings
+module S = Strdb_calculus.Sformula
+module A = Strdb_util.Alphabet
+module U = Strdb_util.Strutil
+
+let section name = Printf.printf "== %s ==\n%!" name
+
+let () =
+  section "grammar: anbncn derivations";
+  (* Classic type-0 (indeed CSG-ish) grammar for {a^n b^n c^n : n>=1}:
+     S -> aBSc | aBc ; Ba -> aB ; Bb -> bb ; Bc -> bc *)
+  let g =
+    {
+      Grammar.start = 'S';
+      rules =
+        [ ("S", "aBSc"); ("S", "aBc"); ("Ba", "aB"); ("Bb", "bb"); ("Bc", "bc") ];
+    }
+  in
+  List.iter
+    (fun (w, expect) ->
+      let got = Grammar.derives g w in
+      Printf.printf "  derives %-10S = %b (expect %b)%s\n" w got expect
+        (if got = expect then "" else "  <-- WRONG"))
+    [ ("abc", true); ("aabbcc", true); ("aaabbbccc", true); ("ab", false); ("aabbc", false) ];
+
+  section "grammar: φ_G accepts exactly derivation encodings";
+  let sigma_g = Grammar.alphabet g in
+  let phi_g = Grammar.formula g ~x1:"x1" ~x2:"x2" ~x3:"x3" in
+  Printf.printf "  φ_G size %d, right-restricted(vars x2 x3 bidirectional)=%b\n"
+    (S.size phi_g)
+    (S.bidirectional_vars phi_g = [ "x2"; "x3" ]);
+  let fsa_g = Strdb_calculus.Compile.compile sigma_g ~vars:[ "x1"; "x2"; "x3" ] phi_g in
+  Printf.printf "  FSA: %d states %d transitions\n" fsa_g.Strdb_fsa.Fsa.num_states
+    (Strdb_fsa.Fsa.size fsa_g);
+  (match Grammar.derivation_to g "abc" with
+  | None -> print_endline "  NO DERIVATION FOUND (wrong)"
+  | Some deriv ->
+      let enc = Grammar.encode deriv in
+      Printf.printf "  derivation: %s\n" enc;
+      let ok = Strdb_fsa.Run.accepts fsa_g [ "abc"; enc; enc ] in
+      Printf.printf "  φ_G accepts (abc,enc,enc) = %b (expect true)\n" ok;
+      (* Corrupt the derivation: should reject. *)
+      let bad = Grammar.encode (List.map (fun s -> s) deriv @ [ "zz" ]) in
+      ignore bad;
+      let bad2 = Grammar.encode ("abc" :: "aBcX" :: List.tl (List.tl deriv)) in
+      ignore bad2;
+      let corrupt = Grammar.encode [ "abc"; "aBc"; "S"; "S" ] in
+      Printf.printf "  φ_G accepts corrupt = %b (expect false)\n"
+        (Strdb_fsa.Run.accepts fsa_g [ "abc"; corrupt; corrupt ]));
+
+  section "TM -> grammar (backward simulation)";
+  (* A tiny TM over {a,b} that accepts strings starting with 'a': reads
+     first char; on 'a' accept. *)
+  let tm =
+    {
+      Turing.states = [ 'q'; 'f' ];
+      start = 'q';
+      accept = 'f';
+      input_alphabet = [ 'a'; 'b' ];
+      tape_alphabet = [ 'a'; 'b'; '_' ];
+      blank = '_';
+      delta = [ ('q', 'a', 'f', 'a', Turing.R) ];
+    }
+  in
+  Printf.printf "  tm accepts 'ab'=%b 'ba'=%b\n" (Turing.accepts tm "ab") (Turing.accepts tm "ba");
+  let gm = Turing.to_grammar tm ~left_end:'<' ~frontier:'%' ~snippet:'T' ~eraser:'F' in
+  Printf.printf "  grammar rules: %d\n" (List.length gm.Grammar.rules);
+  (* The grammar derives u iff u is an input over {a,b}* (0-step partial
+     computations always exist). *)
+  Printf.printf "  G_M derives 'ab'=%b 'ba'=%b\n"
+    (Grammar.derives gm ~max_len:12 "ab")
+    (Grammar.derives gm ~max_len:12 "ba");
+
+  section "LBA: a^n b^n via strings (Theorem 6.6)";
+  let lba = Lba.anbn in
+  List.iter
+    (fun (w, expect) ->
+      let direct = Lba.accepts lba w in
+      let via = Lba.accepts_via_strings ~max_blocks:24 lba w in
+      Printf.printf "  accepts %-8S direct=%b via-strings=%b (expect %b)%s\n" w
+        direct via expect
+        (if direct = expect && via = expect then "" else "  <-- WRONG"))
+    [ ("ab", true); ("aabb", true); ("ba", false); ("aab", false); ("abb", false) ];
+
+  section "QBF: SAT via strings vs DPLL";
+  let module D = Strdb_baselines.Dpll in
+  let cases =
+    [
+      (2, [ [ 1; 2 ]; [ -1; 2 ]; [ -2 ] ]);
+      (2, [ [ 1 ]; [ -1 ] ]);
+      (3, [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3 ]; [ -2; -3 ] ]);
+      (1, [ [ 1 ] ]);
+    ]
+  in
+  List.iter
+    (fun (n, cnf) ->
+      let via = Qbf.sat_via_strings ~nvars:n cnf in
+      let dpll = D.satisfiable cnf in
+      Printf.printf "  n=%d sat_via_strings=%b dpll=%b%s\n" n via dpll
+        (if via = dpll then "" else "  <-- MISMATCH"))
+    cases;
+
+  section "Theorem 6.1 round trip";
+  let module R = Strdb_automata.Regex in
+  let module Dfa = Strdb_automata.Dfa in
+  let sigma = A.binary in
+  List.iter
+    (fun src ->
+      let r = R.parse src in
+      let phi = Strdb_calculus.Regex_embed.matches "x" r in
+      let dfa1 = Dfa.of_regex sigma r in
+      let dfa2 = Regular.formula_to_dfa sigma "x" phi in
+      Printf.printf "  %-14s equivalent=%b\n" src (Dfa.equal dfa1 dfa2))
+    [ "(ab+b)*"; "a*b*"; "~+ab"; "(a+b)*abb"; "#"; "a(a+b)*a+b" ];
+  ignore U.explode

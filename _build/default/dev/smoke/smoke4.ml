@@ -1,0 +1,57 @@
+(* Debug the failing tests: generator vs brute force; disregard; crossing. *)
+open Strdb
+module W = Window
+module S = Sformula
+
+let all_tuples sigma ~arity ~max_len =
+  let words = Strutil.all_strings_upto sigma max_len in
+  let rec go k = if k = 0 then [ [] ] else
+    List.concat_map (fun t -> List.map (fun w -> w :: t) words) (go (k - 1))
+  in
+  go arity
+
+let () =
+  let b = Alphabet.binary in
+  print_endline "== generator vs brute force: equal_s ==";
+  let fsa = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+  let got = Generate.accepted fsa ~max_len:2 in
+  let want = List.filter (fun t -> Run.accepts fsa t) (all_tuples b ~arity:2 ~max_len:2) in
+  Printf.printf "got:  %s\n" (String.concat " " (List.map (String.concat ",") got));
+  Printf.printf "want: %s\n" (String.concat " " (List.map (String.concat ",") want));
+
+  print_endline "== disregard equal_s tape 1 ==";
+  let d = Fsa.disregard fsa 1 in
+  List.iter
+    (fun (x, y) -> Printf.printf "  (%s,%s) -> %b\n" x y (Run.accepts d [ x; y ]))
+    [ ("", ""); ("", "a"); ("a", ""); ("a", "ba"); ("ab", "ab") ];
+
+  print_endline "== crossing hand automaton ==";
+  let meta = { Crossing.reading = false; writes = []; synthetic = false; final_read = None } in
+  let tw =
+    {
+      Crossing.sigma = b;
+      num_states = 4;
+      start = 0;
+      final = 3;
+      trans =
+        [
+          { Crossing.src = 0; sym = Symbol.Lend; dst = 0; move = 1; meta };
+          { Crossing.src = 0; sym = Symbol.Chr 'a'; dst = 0; move = 1; meta };
+          { Crossing.src = 0; sym = Symbol.Chr 'b'; dst = 0; move = 1; meta };
+          { Crossing.src = 0; sym = Symbol.Rend; dst = 1; move = -1; meta };
+          { Crossing.src = 1; sym = Symbol.Chr 'a'; dst = 1; move = -1; meta };
+          { Crossing.src = 1; sym = Symbol.Chr 'b'; dst = 1; move = -1; meta };
+          { Crossing.src = 1; sym = Symbol.Lend; dst = 2; move = 1; meta };
+          { Crossing.src = 2; sym = Symbol.Chr 'a'; dst = 2; move = 1; meta };
+          { Crossing.src = 2; sym = Symbol.Rend; dst = 3; move = 1; meta };
+        ];
+    }
+  in
+  let axx = Crossing.build tw in
+  Format.printf "%a@." Crossing.pp_stats axx;
+  List.iter
+    (fun w ->
+      Printf.printf "  %-6s two-way=%b A''=%b\n"
+        (if w = "" then "ε" else w)
+        (Crossing.two_way_accepts tw w) (Crossing.accepts axx w))
+    (Strutil.all_strings_upto b 3)

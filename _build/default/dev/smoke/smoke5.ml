@@ -1,0 +1,19 @@
+(* Instrument crossing construction size/time on the manifold FSA. *)
+open Strdb
+
+let () =
+  let b = Alphabet.binary in
+  let fsa = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.manifold "x" "y") in
+  Printf.printf "manifold FSA: %d states %d transitions\n%!" fsa.Fsa.num_states (Fsa.size fsa);
+  let t0 = Unix.gettimeofday () in
+  (match Limitation.analyze fsa ~inputs:[ 0 ] ~outputs:[ 1 ] with
+  | Ok (Limitation.Limited bd) -> Printf.printf "x->y LIMITED %s" bd.Limitation.formula
+  | Ok (Limitation.Unlimited r) -> Printf.printf "x->y UNLIMITED %s" r
+  | Error e -> Printf.printf "x->y ERROR %s" e);
+  Printf.printf "  (%.2f s)\n%!" (Unix.gettimeofday () -. t0);
+  let t0 = Unix.gettimeofday () in
+  (match Limitation.analyze fsa ~inputs:[ 1 ] ~outputs:[ 0 ] with
+  | Ok (Limitation.Limited bd) -> Printf.printf "y->x LIMITED %s" bd.Limitation.formula
+  | Ok (Limitation.Unlimited r) -> Printf.printf "y->x UNLIMITED %s" r
+  | Error e -> Printf.printf "y->x ERROR %s" e);
+  Printf.printf "  (%.2f s)\n%!" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,41 @@
+(* Quick check of the new combinators before wiring them into the suite. *)
+open Strdb
+
+let all_tuples sigma ~arity ~max_len =
+  let words = Strutil.all_strings_upto sigma max_len in
+  let rec go k = if k = 0 then [ [] ] else
+    List.concat_map (fun t -> List.map (fun w -> w :: t) words) (go (k - 1))
+  in
+  go arity
+
+let check name phi reference =
+  let b = Alphabet.binary in
+  let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+  let bad = ref 0 in
+  List.iter
+    (fun tup ->
+      match tup with
+      | [ x; y ] ->
+          let got = Run.accepts fsa [ x; y ] in
+          let naive = Naive.holds phi [ ("x", x); ("y", y) ] in
+          let want = reference x y in
+          if got <> want || naive <> want then begin
+            incr bad;
+            if !bad < 5 then
+              Printf.printf "  %s MISMATCH (%S,%S) got=%b naive=%b want=%b\n" name
+                x y got naive want
+          end
+      | _ -> ())
+    (all_tuples Alphabet.binary ~arity:2 ~max_len:3);
+  Printf.printf "%-14s %s\n" name (if !bad = 0 then "ok" else "MISMATCHES")
+
+let () =
+  check "suffix" (Combinators.suffix "x" "y") Strutil.is_suffix;
+  check "subsequence" (Combinators.subsequence "x" "y") Strutil.is_subsequence;
+  check "reverse_of" (Combinators.reverse_of "x" "y") (fun x y -> x = Strutil.reverse y);
+  (* limitation sanity: y limits x in reverse_of, with y bidirectional *)
+  let fsa = Compile.compile Alphabet.binary ~vars:[ "y"; "x" ] (Combinators.reverse_of "x" "y") in
+  (match Limitation.analyze fsa ~inputs:[ 0 ] ~outputs:[ 1 ] with
+  | Ok (Limitation.Limited b) -> Printf.printf "reverse: y ⤳ x LIMITED %s\n" b.Limitation.formula
+  | Ok (Limitation.Unlimited r) -> Printf.printf "reverse: y ⤳ x UNLIMITED (%s) <-- WRONG\n" r
+  | Error e -> Printf.printf "reverse analyze error: %s\n" e)

@@ -1,0 +1,16 @@
+(* Time and referee the k-level PH machinery. *)
+let () =
+  let module Q = Strdb.Qbf in
+  let t0 = Unix.gettimeofday () in
+  (* ∃y1 ∀y2: (y1 ∨ y2) ∧ (y1 ∨ ¬y2)  — valid *)
+  let v2 = Q.ph_valid ~blocks:[ 1; 1 ] [ [ 1; 2 ]; [ 1; -2 ] ] in
+  Printf.printf "k=2: %b (brute %b) in %.1f s\n%!" v2
+    (Q.brute_force_ph ~blocks:[ 1; 1 ] [ [ 1; 2 ]; [ 1; -2 ] ])
+    (Unix.gettimeofday () -. t0);
+  let t0 = Unix.gettimeofday () in
+  (* ∃y1 ∀y2 ∃y3: (y1 ∨ ¬y2 ∨ y3) ∧ (¬y1 ∨ y2 ∨ ¬y3) — y3 can always answer *)
+  let cnf3 = [ [ 1; -2; 3 ]; [ -1; 2; -3 ] ] in
+  let v3 = Q.ph_valid ~blocks:[ 1; 1; 1 ] cnf3 in
+  Printf.printf "k=3: %b (brute %b) in %.1f s\n%!" v3
+    (Q.brute_force_ph ~blocks:[ 1; 1; 1 ] cnf3)
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/genomics.ml: Alphabet Combinators Database Formula List Printf Prng Query Regex Regex_embed Strdb String Strutil

@@ -1,0 +1,1 @@
+examples/language_zoo.ml: Alphabet Combinators Compile Generate Grammar List Printf Run Sformula Strdb String Strutil Workload

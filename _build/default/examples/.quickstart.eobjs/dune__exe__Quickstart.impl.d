@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alphabet Combinators Database Formula List Printf Query Safety Strdb String

@@ -1,0 +1,1 @@
+examples/sat_via_strings.ml: Compile Dpll Generate Limitation List Printf Qbf Strdb String Strutil Workload

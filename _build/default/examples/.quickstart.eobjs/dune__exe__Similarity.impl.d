@@ -1,0 +1,1 @@
+examples/similarity.ml: Alphabet Combinators Compile Database Edit_distance Formula Generate List Printf Prng Query Strdb String Workload

@@ -1,0 +1,99 @@
+(* Genomics: the paper's motivating domain.  Gene-regulation structure is
+   not context-free (Collado-Vides 1991), so the pattern language must go
+   beyond regular sets while staying executable.  This example runs the
+   paper's non-regular constructions on a synthetic DNA database:
+
+   - regular motif scan ((gc+a)*, Example 6),
+   - aXbXa repeats (Example 9: a copy language, not context-free),
+   - translated halves (Example 12: a string followed by its image under a
+     base substitution),
+   - manifolds (Example 4: tandem repeats x = y^k).
+
+   Run with:  dune exec examples/genomics.exe *)
+
+open Strdb
+
+let () =
+  let sigma = Alphabet.dna in
+  let g = Prng.create 20260705 in
+
+  (* Synthesise sequences, planting structure so every query has hits. *)
+  let random_seqs = List.init 12 (fun _ -> Prng.string_upto g sigma 8) in
+  let planted_repeat x = "a" ^ x ^ "t" ^ x ^ "a" in
+  let translate =
+    String.map (function 'a' -> 't' | 't' -> 'a' | 'c' -> 'g' | _ -> 'c')
+  in
+  let planted =
+    [
+      planted_repeat "cg";
+      planted_repeat "gcc";
+      "ct" ^ translate "ct";
+      "gca" ^ translate "gca";
+      Strutil.repeat "ag" 3;
+      Strutil.repeat "cgt" 2;
+    ]
+  in
+  let db =
+    Database.of_list
+      [ ("seq", List.map (fun s -> [ s ]) (planted @ random_seqs)) ]
+  in
+  Printf.printf "database: %d sequences\n\n" (List.length (Database.find db "seq"));
+
+  let show label = function
+    | Ok tuples ->
+        Printf.printf "%s (%d):\n" label (List.length tuples);
+        List.iter (fun t -> Printf.printf "  %s\n" (String.concat "  " t)) tuples
+    | Error e -> Printf.printf "%s: %s\n" label e
+  in
+
+  (* 1. Regular motif scan: sequences matching (gc+a)* — Example 6
+     verbatim. *)
+  let motif = Regex.parse "(gc+a)*" in
+  let q_regex =
+    Query.make ~free:[ "x" ]
+      (Formula.And
+         (Formula.Rel ("seq", [ "x" ]), Formula.Str (Regex_embed.matches "x" motif)))
+  in
+  show "sequences of shape (gc+a)*" (Query.run sigma db q_regex);
+
+  (* 2. aXtXa repeats: Example 9's aXbXa with DNA letters.  The two X
+     occurrences are existential rows checked equal with =s — the paper's
+     trick for resetting alignments with a relational ∧. *)
+  let q_repeat =
+    Query.make ~free:[ "x" ]
+      (Formula.exists_many [ "u"; "w" ]
+         (Formula.and_list
+            [
+              Formula.Rel ("seq", [ "x" ]);
+              Formula.Str (Combinators.equal_s "u" "w");
+              Formula.Str (Combinators.axbxa "x" "u" "w" 'a' 't');
+            ]))
+  in
+  show "aXtXa tandem structures" (Query.run sigma db q_repeat);
+
+  (* 3. Translated halves: x = y · translate(y) under the base swap
+     a<->t, c<->g — Example 12 with the Watson-Crick complement. *)
+  let q_halves =
+    Query.make ~free:[ "x" ]
+      (Formula.exists_many [ "y"; "z" ]
+         (let split, translated =
+            Combinators.translation_halves_parts "x" "y" "z"
+              [ ('a', 't'); ('t', 'a'); ('c', 'g'); ('g', 'c') ]
+          in
+          Formula.and_list
+            [ Formula.Rel ("seq", [ "x" ]); Formula.Str split; Formula.Str translated ]))
+  in
+  show "sequences whose second half complements the first" (Query.run sigma db q_halves);
+
+  (* 4. Tandem repeats: x = y^k for some shorter y — Example 4. *)
+  let q_tandem =
+    Query.make ~free:[ "x"; "y" ]
+      (Formula.and_list
+         [
+           Formula.Rel ("seq", [ "x" ]);
+           Formula.Str (Combinators.manifold "x" "y");
+           Formula.Not (Formula.Str (Combinators.equal_s "x" "y"));
+           Formula.Not (Formula.Str (Combinators.literal "y" ""));
+         ])
+  in
+  show "tandem repeats x = y^k (k >= 2)" (Query.run sigma db q_tandem)

@@ -1,0 +1,99 @@
+(* Quickstart: build a small string database, write alignment-calculus
+   queries with the combinator library, and run them through the full
+   pipeline (safety analysis -> alignment algebra -> answers).
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Strdb
+
+let print_answers label = function
+  | Ok tuples ->
+      Printf.printf "%s:\n" label;
+      List.iter
+        (fun tup -> Printf.printf "  (%s)\n" (String.concat ", " tup))
+        tuples
+  | Error e -> Printf.printf "%s: cannot evaluate safely: %s\n" label e
+
+let () =
+  (* The paper fixes the alphabet up front; we use the DNA alphabet of its
+     motivating examples. *)
+  let sigma = Alphabet.dna in
+
+  (* A database maps relation symbols to finite string relations. *)
+  let db =
+    Database.of_list
+      [
+        ("gene", [ [ "acga" ]; [ "gc" ]; [ "gcgc" ]; [ "tacgat" ]; [ "gcgcgc" ] ]);
+        ("pair", [ [ "acg"; "a" ]; [ "gc"; "gc" ]; [ "t"; "acg" ] ]);
+      ]
+  in
+
+  (* Query 1 (paper's Example 7): genes in which "cga" occurs. *)
+  let q_motif =
+    Query.make ~free:[ "x" ]
+      (Formula.exists_many [ "m" ]
+         (Formula.and_list
+            [
+              Formula.Rel ("gene", [ "x" ]);
+              Formula.Str (Combinators.literal "m" "cga");
+              Formula.Str (Combinators.occurs_in "m" "x");
+            ]))
+  in
+  print_answers "genes containing cga" (Query.run sigma db q_motif);
+
+  (* Query 2 (Example 2): pairs whose components are equal. *)
+  let q_eq =
+    Query.make ~free:[ "u"; "v" ]
+      (Formula.And
+         (Formula.Rel ("pair", [ "u"; "v" ]),
+          Formula.Str (Combinators.equal_s "u" "v")))
+  in
+  print_answers "equal pairs" (Query.run sigma db q_eq);
+
+  (* Query 3 (Example 3): restructuring — concatenations of a pair's two
+     components.  The concatenation string "x" is *generated*, not drawn
+     from the database: safety rests on the limitation analysis showing
+     that u and v limit x. *)
+  let q_concat =
+    Query.make ~free:[ "x" ]
+      (Formula.exists_many [ "u"; "v" ]
+         (Formula.and_list
+            [
+              Formula.Rel ("pair", [ "u"; "v" ]);
+              Formula.Str (Combinators.concat3 "x" "u" "v");
+            ]))
+  in
+  print_answers "concatenations of pairs" (Query.run sigma db q_concat);
+
+  (* Query 4 (Example 4): genes that are a manifold (k-fold repeat) of
+     another gene. *)
+  let q_manifold =
+    Query.make ~free:[ "x"; "y" ]
+      (Formula.and_list
+         [
+           Formula.Rel ("gene", [ "x" ]);
+           Formula.Rel ("gene", [ "y" ]);
+           Formula.Str (Combinators.manifold "x" "y");
+           (* skip the trivial x = y pairs *)
+           Formula.Not (Formula.Str (Combinators.equal_s "x" "y"));
+         ])
+  in
+  print_answers "proper manifolds (x = y^k, k>=2)" (Query.run sigma db q_manifold);
+
+  (* The safety analysis itself is a public API: *)
+  let report = Query.safety sigma q_concat in
+  Printf.printf "\nsafety report for the concatenation query:\n";
+  List.iter
+    (fun (v, why) -> Printf.printf "  %s: %s\n" v why)
+    report.Safety.limited;
+  Printf.printf "  limit W(db) = %d\n" (report.Safety.limit db);
+
+  (* An unsafe query is rejected rather than looping forever: every string
+     that *contains* a gene (infinitely many). *)
+  let q_unsafe =
+    Query.make ~free:[ "x" ]
+      (Formula.exists_many [ "g" ]
+         (Formula.and_list
+            [ Formula.Rel ("gene", [ "g" ]); Formula.Str (Combinators.occurs_in "g" "x") ]))
+  in
+  print_answers "strings containing a gene (unsafe!)" (Query.run sigma db q_unsafe)

@@ -1,0 +1,1 @@
+lib/algebra/algebra.ml: Array Format List Printf Strdb_calculus Strdb_fsa Strdb_util String

@@ -1,0 +1,1 @@
+lib/algebra/algebra.mli: Format Strdb_calculus Strdb_fsa Strdb_util

@@ -1,0 +1,1 @@
+lib/algebra/eval.ml: Array Hashtbl List Option Printf Strdb_calculus Strdb_fsa Strdb_util String

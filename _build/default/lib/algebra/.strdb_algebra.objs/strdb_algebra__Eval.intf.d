@@ -1,0 +1,1 @@
+lib/algebra/eval.mli: Strdb_calculus Strdb_util

@@ -1,0 +1,1 @@
+lib/algebra/safety.ml: Algebra Array Hashtbl List Printf Strdb_calculus Strdb_fsa Strdb_util String Translate

@@ -1,0 +1,1 @@
+lib/algebra/safety.mli: Algebra Strdb_calculus Strdb_util

@@ -1,0 +1,1 @@
+lib/algebra/translate.ml: Algebra Array List Option Printf Strdb_calculus

@@ -1,0 +1,1 @@
+lib/algebra/translate.mli: Algebra Strdb_calculus Strdb_util

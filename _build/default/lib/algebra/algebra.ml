@@ -1,0 +1,141 @@
+module Db = Strdb_calculus.Database
+
+type t =
+  | Rel of string
+  | Sigma_star
+  | Sigma_upto of int
+  | Union of t * t
+  | Diff of t * t
+  | Product of t * t
+  | Project of int list * t
+  | Select of Strdb_fsa.Fsa.t * t
+
+let inter e f = Diff (e, Diff (e, f))
+
+let product_list = function
+  | [] -> invalid_arg "Algebra.product_list: empty product"
+  | e :: es -> List.fold_left (fun a b -> Product (a, b)) e es
+
+let sigma_power n =
+  if n < 1 then invalid_arg "Algebra.sigma_power: need at least one factor";
+  product_list (List.init n (fun _ -> Sigma_star))
+
+exception Type_error of string
+
+let rec arity ~schema = function
+  | Rel r -> (
+      match List.assoc_opt r schema with
+      | Some a -> a
+      | None -> raise (Type_error ("unknown relation symbol " ^ r)))
+  | Sigma_star | Sigma_upto _ -> 1
+  | Union (a, b) | Diff (a, b) ->
+      let aa = arity ~schema a and ab = arity ~schema b in
+      if aa <> ab then
+        raise (Type_error (Printf.sprintf "set operation on arities %d and %d" aa ab));
+      aa
+  | Product (a, b) -> arity ~schema a + arity ~schema b
+  | Project (cols, a) ->
+      let aa = arity ~schema a in
+      if List.length (List.sort_uniq compare cols) <> List.length cols then
+        raise (Type_error "projection with repeated columns");
+      List.iter
+        (fun i ->
+          if i < 0 || i >= aa then
+            raise (Type_error (Printf.sprintf "projection index %d out of range" i)))
+        cols;
+      List.length cols
+  | Select (fsa, a) ->
+      let aa = arity ~schema a in
+      if fsa.Strdb_fsa.Fsa.arity <> aa then
+        raise
+          (Type_error
+             (Printf.sprintf "selection FSA arity %d on expression of arity %d"
+                fsa.Strdb_fsa.Fsa.arity aa));
+      aa
+
+type strategy = Materialize | Generate
+
+(* Collect the factors of a product spine, left to right. *)
+let rec factors = function
+  | Product (a, b) -> factors a @ factors b
+  | e -> [ e ]
+
+(* Recognise σ_A(F × Σ* × ⋯ × Σ* ): the finitely-evaluable generator shape. *)
+let split_sigma_tail e =
+  let fs = factors e in
+  let rec split acc = function
+    | [] -> (List.rev acc, 0)
+    | Sigma_star :: rest when List.for_all (fun f -> f = Sigma_star) rest ->
+        (List.rev acc, 1 + List.length rest)
+    | f :: rest -> split (f :: acc) rest
+  in
+  split [] fs
+
+let eval ?(strategy = Materialize) sigma db ~cutoff e =
+  let schema = Db.relations db in
+  let _ = arity ~schema e in
+  let domain = Strdb_util.Strutil.all_strings_upto sigma cutoff in
+  let dedup tuples = List.sort_uniq compare tuples in
+  let rec go e =
+    match e with
+    | Rel r -> Db.find db r
+    | Sigma_star -> List.map (fun w -> [ w ]) domain
+    | Sigma_upto l ->
+        List.filter_map
+          (fun w -> if String.length w <= l then Some [ w ] else None)
+          domain
+    | Union (a, b) -> dedup (go a @ go b)
+    | Diff (a, b) ->
+        let vb = go b in
+        List.filter (fun t -> not (List.mem t vb)) (go a)
+    | Product (a, b) ->
+        let va = go a and vb = go b in
+        List.concat_map (fun ta -> List.map (fun tb -> ta @ tb) vb) va
+    | Project (cols, a) ->
+        dedup
+          (List.map
+             (fun tup ->
+               let arr = Array.of_list tup in
+               List.map (fun i -> arr.(i)) cols)
+             (go a))
+    | Select (fsa, a) -> (
+        match strategy with
+        | Materialize -> List.filter (Strdb_fsa.Run.accepts fsa) (go a)
+        | Generate -> (
+            match split_sigma_tail a with
+            | finite, 0 ->
+                List.filter (Strdb_fsa.Run.accepts fsa) (go (product_list finite))
+            | [], _n ->
+                (* Pure generation from nothing but Σ*: enumerate directly. *)
+                dedup (Strdb_fsa.Generate.accepted fsa ~max_len:cutoff)
+            | finite, _n ->
+                let base = go (product_list finite) in
+                dedup
+                  (List.concat_map
+                     (fun tup ->
+                       Strdb_fsa.Generate.outputs fsa ~inputs:tup
+                         ~max_len:cutoff
+                       |> List.map (fun out -> tup @ out))
+                     base)))
+  in
+  dedup (go e)
+
+let rec size = function
+  | Rel _ | Sigma_star | Sigma_upto _ -> 1
+  | Union (a, b) | Diff (a, b) | Product (a, b) -> 1 + size a + size b
+  | Project (_, a) -> 1 + size a
+  | Select (fsa, a) -> Strdb_fsa.Fsa.size fsa + size a
+
+let rec pp ppf = function
+  | Rel r -> Format.pp_print_string ppf r
+  | Sigma_star -> Format.pp_print_string ppf "Σ*"
+  | Sigma_upto l -> Format.fprintf ppf "Σ≤%d" l
+  | Union (a, b) -> Format.fprintf ppf "(%a ∪ %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf ppf "(%a \\ %a)" pp a pp b
+  | Product (a, b) -> Format.fprintf ppf "(%a × %a)" pp a pp b
+  | Project (cols, a) ->
+      Format.fprintf ppf "π[%s]%a"
+        (String.concat "," (List.map string_of_int cols))
+        pp a
+  | Select (fsa, a) ->
+      Format.fprintf ppf "σ[|A|=%d]%a" (Strdb_fsa.Fsa.size fsa) pp a

@@ -1,0 +1,66 @@
+(** Alignment algebra (Section 4): relational algebra over string relations
+    with FSA-based selection and explicit domain symbols.
+
+    Expressions denote string relations.  The infinite domain symbol [Σ*]
+    makes restructuring expressible ([σ_A(F × Σ* × ⋯ × Σ* )] generates new
+    strings); evaluation replaces each [Σ*] by the truncation [Σ^{≤l}] — the
+    [E ↓ l] of Theorem 4.2 — so that [db(E ↓ l) = ⟨φ_E⟩ˡ_db], and for
+    finitely evaluable expressions a limit function makes the answer exact
+    (Eq. 6). *)
+
+type t =
+  | Rel of string  (** a database relation symbol. *)
+  | Sigma_star  (** the unary domain symbol [Σ*]. *)
+  | Sigma_upto of int  (** the unary truncated domain [Σ^{≤l}]. *)
+  | Union of t * t
+  | Diff of t * t
+  | Product of t * t
+  | Project of int list * t  (** [π_{i₁,…,i_u}], 0-based distinct columns. *)
+  | Select of Strdb_fsa.Fsa.t * t  (** [σ_A]: keep the tuples [A] accepts. *)
+
+val inter : t -> t -> t
+(** [E ∩ F := E \ (E \ F)]. *)
+
+val product_list : t list -> t
+(** Left-nested product.  @raise Invalid_argument on the empty list. *)
+
+val sigma_power : int -> t
+(** [Σ* × ⋯ × Σ*] as a product.  @raise Invalid_argument for [n < 1]. *)
+
+exception Type_error of string
+(** Raised by {!arity} on badly-typed expressions. *)
+
+val arity : schema:(string * int) list -> t -> int
+(** The arity of the denoted relation.  @raise Type_error on unknown
+    relation symbols, arity mismatches in set operations, projection
+    indices out of range or repeated, or a selection whose FSA arity
+    differs from its argument's. *)
+
+type strategy =
+  | Materialize
+      (** Replace every [Σ*] by the enumerated [Σ^{≤cutoff}] — the naive
+          reading; exponential in the cutoff. *)
+  | Generate
+      (** Evaluate [σ_A(F × Σ* × ⋯ × Σ* )] shapes by specialising [A] on each
+          tuple of [F] (Lemma 3.1) and enumerating its outputs up to the
+          cutoff ({!Strdb_fsa.Generate}) — the reading that makes the
+          limitation machinery pay off.  Falls back to materialisation
+          elsewhere. *)
+
+val eval :
+  ?strategy:strategy ->
+  Strdb_util.Alphabet.t ->
+  Strdb_calculus.Database.t ->
+  cutoff:int ->
+  t ->
+  Strdb_calculus.Database.tuple list
+(** [eval sigma db ~cutoff e] computes [db(e ↓ cutoff)]: the expression's
+    value with every [Σ*] truncated to [Σ^{≤cutoff}] (and every [Σ^{≤l}]
+    additionally capped at the cutoff, matching [⟨·⟩ˡ]).  Sorted,
+    duplicate-free.  Both strategies return the same set. *)
+
+val size : t -> int
+(** AST size, counting each selection's FSA as its transition count. *)
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax with σ_A abbreviated to its size. *)

@@ -1,0 +1,282 @@
+module F = Strdb_calculus.Formula
+module S = Strdb_calculus.Sformula
+module Db = Strdb_calculus.Database
+
+type plan_step =
+  | Scan of string
+  | Filter of string
+  | Generator of string * string
+
+let skeleton phi =
+  let rec strip acc = function
+    | F.Exists (x, a) -> strip (x :: acc) a
+    | body -> (List.rev acc, body)
+  in
+  let rec conjuncts = function
+    | F.And (a, b) -> conjuncts a @ conjuncts b
+    | c -> [ c ]
+  in
+  let qs, body = strip [] phi in
+  (qs, conjuncts body)
+
+let rec quantifier_free = function
+  | F.Str _ | F.Rel _ -> true
+  | F.And (a, b) -> quantifier_free a && quantifier_free b
+  | F.Not a -> quantifier_free a
+  | F.Exists _ -> false
+
+(* A working table: the bound columns (variable names, in order) and rows. *)
+type table = { cols : F.var list; rows : string list list }
+
+let col_index t v =
+  let rec go i = function
+    | [] -> None
+    | u :: _ when u = v -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.cols
+
+let bound t v = col_index t v <> None
+
+let join_rel db t (r, args) =
+  let new_vars =
+    List.sort_uniq compare (List.filter (fun v -> not (bound t v)) args)
+  in
+  let rows =
+    List.concat_map
+      (fun row ->
+        let row_arr = Array.of_list row in
+        List.filter_map
+          (fun tup ->
+            (* Match tuple positions against already-bound columns, binding
+               the new ones; repeated variables must agree. *)
+            let fresh = Hashtbl.create 4 in
+            let ok =
+              List.for_all2
+                (fun v value ->
+                  match col_index t v with
+                  | Some i -> row_arr.(i) = value
+                  | None -> (
+                      match Hashtbl.find_opt fresh v with
+                      | Some value' -> value = value'
+                      | None ->
+                          Hashtbl.replace fresh v value;
+                          true))
+                args tup
+            in
+            if ok then Some (row @ List.map (Hashtbl.find fresh) new_vars)
+            else None)
+          (Db.find db r))
+      t.rows
+  in
+  { cols = t.cols @ new_vars; rows = List.sort_uniq compare rows }
+
+(* Evaluate a quantifier-free formula on one row. *)
+let rec eval_qf db checker t row = function
+  | F.Str s ->
+      let bindings =
+        List.map
+          (fun v ->
+            match col_index t v with
+            | Some i -> (v, List.nth row i)
+            | None -> invalid_arg "Eval: unbound variable in filter")
+          (S.vars s)
+      in
+      checker s bindings
+  | F.Rel (r, args) ->
+      let tuple =
+        List.map
+          (fun v ->
+            match col_index t v with
+            | Some i -> List.nth row i
+            | None -> invalid_arg "Eval: unbound variable in filter")
+          args
+      in
+      Db.mem db r tuple
+  | F.And (a, b) -> eval_qf db checker t row a && eval_qf db checker t row b
+  | F.Not a -> not (eval_qf db checker t row a)
+  | F.Exists _ -> invalid_arg "Eval: quantifier in filter"
+
+let describe_conjunct = function
+  | F.Rel (r, args) -> Printf.sprintf "%s(%s)" r (String.concat "," args)
+  | F.Str s -> Printf.sprintf "string formula on {%s}" (String.concat "," (S.vars s))
+  | F.Not _ as c -> "negation " ^ Strdb_util.Pretty.to_string F.pp c
+  | c -> Strdb_util.Pretty.to_string F.pp c
+
+(* Try to use [s] as a generator from the current table: returns the
+   compiled FSA, the known/unknown split and the per-row output bound. *)
+let certify_generator sigma t s =
+  let vars = S.vars s in
+  let known = List.filter (bound t) vars in
+  let unknown = List.filter (fun v -> not (bound t v)) vars in
+  let order = known @ unknown in
+  match Strdb_calculus.Compile.compile sigma ~vars:order s with
+  | exception _ -> None
+  | fsa -> (
+      let inputs = List.init (List.length known) (fun i -> i) in
+      let outputs = List.init (List.length unknown) (fun i -> List.length known + i) in
+      match Strdb_fsa.Limitation.analyze fsa ~inputs ~outputs with
+      | Ok (Strdb_fsa.Limitation.Limited b) -> Some (fsa, known, unknown, b)
+      | _ -> None)
+
+let plan_and_run sigma db ~free phi ~dry_run =
+  if List.sort compare free <> F.free_vars phi then
+    Error "free variable list does not match the formula"
+  else begin
+    let _qs, conjs = skeleton phi in
+    let checker = F.compiled_checker sigma in
+    let non_qf =
+      List.exists
+        (function
+          | F.Rel _ | F.Str _ -> false
+          | c -> not (quantifier_free c))
+        conjs
+    in
+    if non_qf then
+      Error
+        "outside the generator-pipeline fragment: a conjunct nests \
+         quantifiers (evaluate with Safety.evaluate_truncated instead)"
+    else begin
+      let rels = List.filter_map (function F.Rel (r, a) -> Some (r, a) | _ -> None) conjs in
+      let strs = List.filter_map (function F.Str s -> Some s | _ -> None) conjs in
+      let negs =
+        List.filter (function F.Rel _ | F.Str _ -> false | _ -> true) conjs
+      in
+      let steps = ref [] in
+      let record s = steps := s :: !steps in
+      let t = ref { cols = []; rows = [ [] ] } in
+      (* 1. Relational joins. *)
+      List.iter
+        (fun (r, args) ->
+          record (Scan (describe_conjunct (F.Rel (r, args))));
+          if dry_run then
+            t :=
+              { !t with
+                cols =
+                  !t.cols
+                  @ List.sort_uniq compare (List.filter (fun v -> not (bound !t v)) args)
+              }
+          else t := join_rel db !t (r, args))
+        rels;
+      (* 2. Saturate over string formulae: filters first, then certified
+         generators. *)
+      let remaining = ref strs in
+      let error = ref None in
+      let continue_ = ref true in
+      while !continue_ && !remaining <> [] && !error = None do
+        let filters, pool =
+          List.partition (fun s -> List.for_all (bound !t) (S.vars s)) !remaining
+        in
+        if filters <> [] then begin
+          List.iter
+            (fun s ->
+              record (Filter (describe_conjunct (F.Str s)));
+              if not dry_run then
+                t :=
+                  { !t with
+                    rows = List.filter (fun row -> eval_qf db checker !t row (F.Str s)) !t.rows
+                  })
+            filters;
+          remaining := pool
+        end
+        else begin
+          (* Pick the first certifiable generator. *)
+          let rec attempt = function
+            | [] ->
+                error :=
+                  Some
+                    (Printf.sprintf
+                       "cannot bind variables {%s}: no conjunct limits them \
+                        (the Theorem 5.2 analysis certified no generator)"
+                       (String.concat ","
+                          (List.sort_uniq compare
+                             (List.concat_map
+                                (fun s -> List.filter (fun v -> not (bound !t v)) (S.vars s))
+                                pool))))
+            | s :: others -> (
+                match certify_generator sigma !t s with
+                | None -> attempt others
+                | Some (fsa, known, unknown, b) ->
+                    record
+                      (Generator
+                         ( describe_conjunct (F.Str s),
+                           Printf.sprintf "{%s} ⤳ {%s}, W = %s"
+                             (String.concat "," known)
+                             (String.concat "," unknown)
+                             b.Strdb_fsa.Limitation.formula ));
+                    if dry_run then t := { !t with cols = !t.cols @ unknown }
+                    else begin
+                      let rows =
+                        List.concat_map
+                          (fun row ->
+                            let ins =
+                              List.map
+                                (fun v -> List.nth row (Option.get (col_index !t v)))
+                                known
+                            in
+                            let per_row_bound =
+                              b.Strdb_fsa.Limitation.eval (List.map String.length ins)
+                            in
+                            Strdb_fsa.Generate.outputs fsa ~inputs:ins
+                              ~max_len:per_row_bound
+                            |> List.map (fun out -> row @ out))
+                          !t.rows
+                      in
+                      t := { cols = !t.cols @ unknown; rows = List.sort_uniq compare rows }
+                    end;
+                    remaining := List.filter (fun s' -> not (s' == s)) !remaining)
+          in
+          attempt pool
+        end
+      done;
+      ignore !continue_;
+      match !error with
+      | Some e -> Error e
+      | None ->
+          let unbound = List.filter (fun v -> not (bound !t v)) free in
+          if unbound <> [] then
+            Error ("free variables never bound: " ^ String.concat ", " unbound)
+          else begin
+            (* 3. Negations as final filters. *)
+            let neg_error = ref None in
+            List.iter
+              (fun c ->
+                if !neg_error = None then begin
+                  if List.exists (fun v -> not (bound !t v)) (F.free_vars c) then
+                    neg_error :=
+                      Some
+                        ("a negated conjunct mentions a variable no positive \
+                          conjunct binds: " ^ describe_conjunct c)
+                  else begin
+                    record (Filter (describe_conjunct c));
+                    if not dry_run then
+                      t :=
+                        { !t with
+                          rows = List.filter (fun row -> eval_qf db checker !t row c) !t.rows
+                        }
+                  end
+                end)
+              negs;
+            match !neg_error with
+            | Some e -> Error e
+            | None ->
+                let project row =
+                  List.map (fun v -> List.nth row (Option.get (col_index !t v))) free
+                in
+                Ok
+                  ( List.rev !steps,
+                    if dry_run then []
+                    else List.sort_uniq compare (List.map project !t.rows) )
+          end
+    end
+  end
+
+let run sigma db ~free phi =
+  match plan_and_run sigma db ~free phi ~dry_run:false with
+  | Ok (_, rows) -> Ok rows
+  | Error e -> Error e
+
+let explain sigma db phi =
+  match plan_and_run sigma db ~free:(F.free_vars phi) phi ~dry_run:true with
+  | Ok (steps, _) -> Ok steps
+  | Error e -> Error e

@@ -1,0 +1,44 @@
+(** The production query evaluator: a conjunctive generator pipeline.
+
+    Theorem 4.2's translation is the semantics (and is what the test suite
+    checks against at small cutoffs), but evaluating each string-formula
+    atom as a standalone relation over [Σ^{≤W}] is exponential.  This
+    module evaluates the {e generator-pipeline} fragment — an existential
+    prefix over a conjunction of relational atoms, string-formula atoms and
+    quantifier-free negations — the way a practical engine would:
+
+    + join the relational atoms (finite tables);
+    + repeatedly pick a string-formula conjunct: if all its variables are
+      bound it is a {e filter} (Theorem 3.3 acceptance per row); otherwise,
+      if the limitation analysis certifies that the bound variables limit
+      the unbound ones ([B ⤳ rest], Theorem 5.2), it is a {e generator} —
+      specialise the compiled FSA on the bound columns (Lemma 3.1) and
+      enumerate the outputs within the certified per-row bound;
+    + finally apply quantifier-free negated conjuncts as filters and
+      project onto the free variables.
+
+    Every step is justified by a theorem of the paper; a query outside the
+    fragment, or whose variables cannot all be bound, is rejected with an
+    explanation (use {!Safety.evaluate_truncated} for those). *)
+
+val run :
+  Strdb_util.Alphabet.t ->
+  Strdb_calculus.Database.t ->
+  free:Strdb_calculus.Formula.var list ->
+  Strdb_calculus.Formula.t ->
+  (Strdb_calculus.Database.tuple list, string) result
+(** Evaluate; answer columns follow [free] (which must list the free
+    variables).  Sorted, duplicate-free. *)
+
+type plan_step =
+  | Scan of string  (** join a relational atom. *)
+  | Filter of string  (** a fully-bound string formula or negation. *)
+  | Generator of string * string
+      (** a string formula generating new columns: (description, bound). *)
+
+val explain :
+  Strdb_util.Alphabet.t ->
+  Strdb_calculus.Database.t ->
+  Strdb_calculus.Formula.t ->
+  (plan_step list, string) result
+(** The plan [run] would execute, for inspection and the CLI. *)

@@ -1,0 +1,155 @@
+module F = Strdb_calculus.Formula
+module S = Strdb_calculus.Sformula
+module Db = Strdb_calculus.Database
+
+type report = {
+  limited : (F.var * string) list;
+  unlimited : F.var list;
+  limit : Db.t -> int;
+}
+
+(* Strip the existential prefix and flatten the top-level conjunction. *)
+let skeleton phi =
+  let rec strip acc = function
+    | F.Exists (x, a) -> strip (x :: acc) a
+    | body -> (List.rev acc, body)
+  in
+  let rec conjuncts = function
+    | F.And (a, b) -> conjuncts a @ conjuncts b
+    | c -> [ c ]
+  in
+  let qs, body = strip [] phi in
+  (qs, conjuncts body)
+
+let relation_max db r =
+  List.fold_left
+    (fun acc tup -> max acc (Strdb_util.Strutil.longest tup))
+    0 (Db.find db r)
+
+let rec vars_of = function
+  | F.Str s -> S.vars s
+  | F.Rel (_, args) -> List.sort_uniq compare args
+  | F.And (a, b) -> List.sort_uniq compare (vars_of a @ vars_of b)
+  | F.Not a -> vars_of a
+  | F.Exists (x, a) -> List.filter (fun v -> v <> x) (vars_of a)
+
+let infer sigma phi =
+  let _qs, conjs = skeleton phi in
+  let all_vars =
+    List.sort_uniq compare (List.concat_map vars_of conjs)
+  in
+  (* limited: var -> (reason, per-db bound). *)
+  let limited : (F.var, string * (Db.t -> int)) Hashtbl.t = Hashtbl.create 16 in
+  (* Seed from relational atoms. *)
+  List.iter
+    (function
+      | F.Rel (r, args) ->
+          List.iter
+            (fun v ->
+              if not (Hashtbl.mem limited v) then
+                Hashtbl.replace limited v
+                  (Printf.sprintf "appears in relation %s" r, fun db ->
+                    relation_max db r))
+            args
+      | _ -> ())
+    conjs;
+  (* Saturate over string-formula conjuncts using the limitation analysis. *)
+  let str_conjs = List.filter_map (function F.Str s -> Some s | _ -> None) conjs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        let vs = S.vars s in
+        let known = List.filter (Hashtbl.mem limited) vs in
+        let unknown = List.filter (fun v -> not (Hashtbl.mem limited v)) vs in
+        if unknown <> [] then begin
+          let order = known @ unknown in
+          match Strdb_calculus.Compile.compile sigma ~vars:order s with
+          | exception _ -> ()
+          | fsa -> (
+              let k = List.length known in
+              let inputs = List.init k (fun i -> i) in
+              let outputs =
+                List.init (List.length unknown) (fun i -> k + i)
+              in
+              match Strdb_fsa.Limitation.analyze fsa ~inputs ~outputs with
+              | Ok (Strdb_fsa.Limitation.Limited b) ->
+                  let known_bounds =
+                    List.map (fun v -> snd (Hashtbl.find limited v)) known
+                  in
+                  let bound db =
+                    b.Strdb_fsa.Limitation.eval
+                      (List.map (fun f -> f db) known_bounds)
+                  in
+                  List.iter
+                    (fun v ->
+                      Hashtbl.replace limited v
+                        ( Printf.sprintf
+                            "limited through a string formula by {%s} (W = %s)"
+                            (String.concat "," known)
+                            b.Strdb_fsa.Limitation.formula,
+                          bound ))
+                    unknown;
+                  changed := true
+              | Ok (Strdb_fsa.Limitation.Unlimited _) | Error _ -> ())
+        end)
+      str_conjs
+  done;
+  let limited_list =
+    List.filter_map
+      (fun v ->
+        match Hashtbl.find_opt limited v with
+        | Some (reason, _) -> Some (v, reason)
+        | None -> None)
+      all_vars
+  in
+  let unlimited = List.filter (fun v -> not (Hashtbl.mem limited v)) all_vars in
+  let limit db =
+    Hashtbl.fold (fun _ (_, f) acc -> max acc (f db)) limited 0
+  in
+  { limited = limited_list; unlimited; limit }
+
+let is_domain_independent_syntactically sigma phi =
+  (infer sigma phi).unlimited = []
+
+let reorder_columns ~from_cols ~to_cols tuples =
+  if from_cols = to_cols then tuples
+  else
+    let idx v =
+      match List.find_index (fun u -> u = v) from_cols with
+      | Some i -> i
+      | None -> invalid_arg ("Safety: free variable mismatch on " ^ v)
+    in
+    let perm = List.map idx to_cols in
+    List.map
+      (fun tup ->
+        let arr = Array.of_list tup in
+        List.map (fun i -> arr.(i)) perm)
+      tuples
+    |> List.sort compare
+
+let evaluate_truncated ?(strategy = Algebra.Generate) sigma db ~cutoff ~free phi =
+  let expr, cols = Translate.of_formula sigma phi in
+  let tuples = Algebra.eval ~strategy sigma db ~cutoff expr in
+  reorder_columns ~from_cols:cols ~to_cols:free tuples
+
+let evaluate ?(strategy = Algebra.Generate) ?(cutoff_cap = 8) sigma db ~free phi =
+  if List.sort compare free <> F.free_vars phi then
+    Error "free variable list does not match the formula"
+  else
+    let report = infer sigma phi in
+    if report.unlimited <> [] then
+      Error
+        ("not syntactically domain independent; unbounded variables: "
+        ^ String.concat ", " report.unlimited)
+    else
+      let cutoff = report.limit db in
+      if cutoff > cutoff_cap then
+        Error
+          (Printf.sprintf
+             "limit W(db) = %d exceeds the Σ*-enumeration cap (%d): the \
+              literal Eq. 6 evaluation is exponential in the limit — use \
+              Eval.run (the generator pipeline) or raise ?cutoff_cap"
+             cutoff cutoff_cap)
+      else Ok (evaluate_truncated ~strategy sigma db ~cutoff ~free phi)

@@ -1,0 +1,70 @@
+(** Safety of alignment calculus queries (Definition 3.2, Section 5).
+
+    Semantic safety — a finite answer — is undecidable in general (the
+    relational calculus embeds, and Theorem 5.1 adds a string-specific
+    source).  Following the paper's programme, we implement a {e syntactic
+    sufficient condition} built from the limitation analysis of string
+    formulae: the finiteness-constraint propagation of Ramakrishnan et al.
+    that the paper adopts in Section 5.
+
+    The inference works on the {e generator pipeline} fragment: strip the
+    existential prefix, flatten the conjunction, and saturate —
+
+    - a variable occurring in a relational atom is limited by
+      [max(R, db)] (Eq. 2);
+    - for a string-formula conjunct, if some subset [I] of its variables is
+      already limited and the Theorem 5.2 analysis certifies
+      [I ⤳ rest] on the compiled FSA, the remaining variables become
+      limited by the corresponding limit function;
+    - negated conjuncts restrict, never generate, so they are ignored for
+      limitation purposes (their variables must be limited elsewhere).
+
+    If saturation limits every variable, the query is domain independent
+    with limit function [W(db)] = the maximum of the accumulated bounds,
+    and [⟨φ⟩_db = ⟨φ⟩^{W(db)}_db] (Eq. 6). *)
+
+type report = {
+  limited : (Strdb_calculus.Formula.var * string) list;
+      (** each limited variable with a human-readable reason. *)
+  unlimited : Strdb_calculus.Formula.var list;
+      (** variables the analysis could not bound. *)
+  limit : Strdb_calculus.Database.t -> int;
+      (** the limit function [W]; meaningful when [unlimited = []]. *)
+}
+
+val infer : Strdb_util.Alphabet.t -> Strdb_calculus.Formula.t -> report
+(** Run the propagation on the (prenex-existential, conjunctive skeleton
+    of the) query.  Conservative: [unlimited = []] implies domain
+    independence; the converse need not hold. *)
+
+val is_domain_independent_syntactically :
+  Strdb_util.Alphabet.t -> Strdb_calculus.Formula.t -> bool
+(** [infer] leaves no variable unlimited. *)
+
+val evaluate :
+  ?strategy:Algebra.strategy ->
+  ?cutoff_cap:int ->
+  Strdb_util.Alphabet.t ->
+  Strdb_calculus.Database.t ->
+  free:Strdb_calculus.Formula.var list ->
+  Strdb_calculus.Formula.t ->
+  (Strdb_calculus.Database.tuple list, string) result
+(** The literal Eq. 6 pipeline: infer [W(db)], translate to algebra
+    (Theorem 4.2) and evaluate at cutoff [W(db)].  [free] orders the answer
+    columns and must list the free variables (any order).  [Error] when the
+    safety analysis cannot bound every variable — or when [W(db)] exceeds
+    [cutoff_cap] (default 8): replacing [Σ*] by an enumerated [Σ^{≤W}] is
+    exponential in [W], which is exactly why {!Eval} exists; this entry
+    point is the executable form of the theorem, not the production
+    engine. *)
+
+val evaluate_truncated :
+  ?strategy:Algebra.strategy ->
+  Strdb_util.Alphabet.t ->
+  Strdb_calculus.Database.t ->
+  cutoff:int ->
+  free:Strdb_calculus.Formula.var list ->
+  Strdb_calculus.Formula.t ->
+  Strdb_calculus.Database.tuple list
+(** The truncated semantics [⟨φ⟩ˡ_db] through the algebra, for any query
+    (Theorem 4.2's second claim). *)

@@ -1,0 +1,165 @@
+module F = Strdb_calculus.Formula
+module S = Strdb_calculus.Sformula
+module W = Strdb_calculus.Window
+module C = Strdb_calculus.Combinators
+
+(* Positional column variables used when compiling fused selections. *)
+let col i = Printf.sprintf "c%d" i
+
+let fuse sigma ~arity ~groups expr =
+  List.iter
+    (List.iter (fun i ->
+         if i < 0 || i >= arity then invalid_arg "Translate.fuse: column out of range"))
+    groups;
+  let cols = List.init arity col in
+  (* One string formula for all the =ₛ constraints: advance every column in
+     lockstep, requiring within-group window equality at each step, until
+     all columns are exhausted simultaneously.  Exhausted columns stop
+     moving, and ε-windows compare equal, so unequal lengths across groups
+     are fine (Theorem 4.2). *)
+  let step_test =
+    List.fold_left
+      (fun acc group ->
+        match group with
+        | [] -> acc
+        | lead :: _ ->
+            List.fold_left
+              (fun acc i -> W.And (acc, W.Eq (col i, col lead)))
+              acc group)
+      W.True groups
+  in
+  let psi =
+    S.seq
+      [
+        S.star (S.left cols step_test);
+        S.left cols (W.all_empty cols);
+      ]
+  in
+  let fsa = Strdb_calculus.Compile.compile sigma ~vars:cols psi in
+  Algebra.Project (List.map (fun g -> List.fold_left min max_int g) groups,
+                   Algebra.Select (fsa, expr))
+
+(* σ over a 0-ary or m-ary product of Σ*; the 0-ary case needs a non-empty
+   base relation of arity 0, for which π_∅ Σ* serves. *)
+let sigma_domain m =
+  if m = 0 then Algebra.Project ([], Algebra.Sigma_star)
+  else Algebra.sigma_power m
+
+let positions_of vars v =
+  List.mapi (fun i u -> (i, u)) vars
+  |> List.filter_map (fun (i, u) -> if u = v then Some i else None)
+
+let of_formula sigma phi =
+  let rec go phi =
+    match (phi : F.t) with
+    | F.Str s ->
+        let vars = S.vars s in
+        let m = List.length vars in
+        if m = 0 then
+          (* A closed string formula selects on a 0-ary relation. *)
+          let fsa = Strdb_calculus.Compile.compile sigma ~vars:[] s in
+          (Algebra.Select (fsa, sigma_domain 0), [])
+        else begin
+          let renamed = S.map_vars (fun v ->
+              col (Option.get (List.find_index (fun u -> u = v) vars))) s in
+          let fsa =
+            Strdb_calculus.Compile.compile sigma ~vars:(List.init m col) renamed
+          in
+          (Algebra.Select (fsa, sigma_domain m), vars)
+        end
+    | F.Rel (r, args) ->
+        let vars = List.sort_uniq compare args in
+        let groups = List.map (fun v -> positions_of args v) vars in
+        (fuse sigma ~arity:(List.length args) ~groups (Algebra.Rel r), vars)
+    | F.And (a, b) ->
+        let ea, va = go a in
+        let eb, vb = go b in
+        let all = va @ vb in
+        let vars = List.sort_uniq compare all in
+        let groups = List.map (fun v -> positions_of all v) vars in
+        (fuse sigma ~arity:(List.length all) ~groups (Algebra.Product (ea, eb)), vars)
+    | F.Not a ->
+        let ea, va = go a in
+        let m = List.length va in
+        (Algebra.Diff (sigma_domain m, ea), va)
+    | F.Exists (x, a) ->
+        let ea, va = go a in
+        if not (List.mem x va) then (ea, va)
+        else
+          let keep =
+            List.filteri (fun _ v -> v <> x) va
+          in
+          let cols_to_keep =
+            List.mapi (fun i v -> (i, v)) va
+            |> List.filter_map (fun (i, v) -> if v <> x then Some i else None)
+          in
+          (Algebra.Project (cols_to_keep, ea), keep)
+  in
+  go phi
+
+let fresh_counter () =
+  let n = ref 0 in
+  fun () ->
+    let v = Printf.sprintf "v%d" !n in
+    incr n;
+    v
+
+let to_formula ~schema e =
+  let fresh = fresh_counter () in
+  let rec go e =
+    let a = Algebra.arity ~schema e in
+    match (e : Algebra.t) with
+    | Algebra.Rel r ->
+        let xs = List.init a (fun _ -> fresh ()) in
+        (F.Rel (r, xs), xs)
+    | Algebra.Sigma_star ->
+        let x = fresh () in
+        (* True of every string in an initial alignment: the window column
+           is left of the string, hence empty. *)
+        (F.Str (S.test (W.Is_empty x)), [ x ])
+    | Algebra.Sigma_upto l ->
+        let x = fresh () in
+        (* ([x]ₗ⊤)^l · [x]ₗ x=ε : after l+1 forward transposes the window
+           has passed the end iff |x| ≤ l. *)
+        let phi =
+          S.seq [ S.power (S.left [ x ] W.True) l; S.left [ x ] (W.Is_empty x) ]
+        in
+        (F.Str phi, [ x ])
+    | Algebra.Union (e1, e2) ->
+        let f1, v1 = go e1 in
+        let f2, v2 = go e2 in
+        let f2 = rename_formula (List.combine v2 v1) f2 in
+        (F.or_ f1 f2, v1)
+    | Algebra.Diff (e1, e2) ->
+        let f1, v1 = go e1 in
+        let f2, v2 = go e2 in
+        let f2 = rename_formula (List.combine v2 v1) f2 in
+        (F.And (f1, F.Not f2), v1)
+    | Algebra.Product (e1, e2) ->
+        let f1, v1 = go e1 in
+        let f2, v2 = go e2 in
+        (F.And (f1, f2), v1 @ v2)
+    | Algebra.Project (cols, e1) ->
+        let f1, v1 = go e1 in
+        let v1a = Array.of_list v1 in
+        let kept = List.map (fun i -> v1a.(i)) cols in
+        let dropped = List.filter (fun v -> not (List.mem v kept)) v1 in
+        (F.exists_many dropped f1, kept)
+    | Algebra.Select (fsa, e1) ->
+        let f1, v1 = go e1 in
+        let phi = Strdb_calculus.Decompile.decompile fsa ~vars:v1 in
+        (F.And (f1, F.Str phi), v1)
+  and rename_formula mapping f =
+    let r v = match List.assoc_opt v mapping with Some u -> u | None -> v in
+    let rec go = function
+      | F.Str s -> F.Str (S.map_vars r s)
+      | F.Rel (name, args) -> F.Rel (name, List.map r args)
+      | F.And (a, b) -> F.And (go a, go b)
+      | F.Not a -> F.Not (go a)
+      | F.Exists (x, a) ->
+          (* Bound variables are fresh by construction, never renamed. *)
+          F.Exists (x, go a)
+    in
+    go f
+  in
+  go e

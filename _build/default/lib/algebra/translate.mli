@@ -1,0 +1,35 @@
+(** The equivalence of alignment calculus and alignment algebra
+    (Theorems 4.1 and 4.2).
+
+    {!of_formula} implements Theorem 4.2 (calculus → algebra): the resulting
+    expression satisfies [db(E_φ ↓ l) = ⟨φ⟩ˡ_db] for every [l], so queries
+    evaluate through {!Algebra.eval}.  {!to_formula} implements Theorem 4.1
+    (algebra → calculus), using the Theorem 3.2 decompiler for selections.
+
+    Column convention: a translated formula's answer columns are its free
+    variables in ascending order, the paper's convention for queries. *)
+
+val fuse :
+  Strdb_util.Alphabet.t ->
+  arity:int ->
+  groups:int list list ->
+  Algebra.t ->
+  Algebra.t
+(** The paper's [F ⋈ B] construction: keep the tuples of [F] whose columns
+    agree within each group of the ordered partition [groups] (0-based
+    column indices), eliminate the redundant columns, and order the result
+    by group.  Realised as [π_{min B₁,…} σ_{A_ψ} F] where [ψ] is one string
+    formula encoding all the [=ₛ] constraints. *)
+
+val of_formula :
+  Strdb_util.Alphabet.t -> Strdb_calculus.Formula.t -> Algebra.t * Strdb_calculus.Formula.var list
+(** [of_formula sigma phi] is [(E_φ, columns)] with [columns] the free
+    variables of [phi] in ascending order. *)
+
+val to_formula :
+  schema:(string * int) list ->
+  Algebra.t ->
+  Strdb_calculus.Formula.t * Strdb_calculus.Formula.var list
+(** [to_formula ~schema e] is [(φ_E, columns)] such that
+    [⟨φ_E⟩ˡ_db = db(e ↓ l)]; fresh variables are drawn as [v0, v1, …].
+    @raise Algebra.Type_error on ill-typed expressions. *)

@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Hashtbl List Map Nfa Queue Strdb_util String

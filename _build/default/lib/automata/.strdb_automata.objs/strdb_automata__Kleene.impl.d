@@ -1,0 +1,1 @@
+lib/automata/kleene.ml: Array List

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Hashtbl Int List Regex Set String

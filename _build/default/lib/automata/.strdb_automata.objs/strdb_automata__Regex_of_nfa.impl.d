@@ -1,0 +1,1 @@
+lib/automata/regex_of_nfa.ml: Kleene List Nfa Regex

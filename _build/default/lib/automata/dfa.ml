@@ -1,0 +1,214 @@
+module A = Strdb_util.Alphabet
+
+type t = {
+  sigma : A.t;
+  num_states : int;
+  start : int;
+  finals : bool array;
+  delta : int array array;
+}
+
+let of_nfa sigma (nfa : Nfa.t) =
+  let module SM = Map.Make (struct
+    type t = int list
+
+    let compare = compare
+  end) in
+  let k = A.size sigma in
+  let start_set = Nfa.eps_closure nfa [ nfa.start ] in
+  let ids = ref (SM.singleton start_set 0) in
+  let rows = ref [] (* reversed list of transition rows *) in
+  let finals = ref [] in
+  let next_id = ref 1 in
+  let rec explore queue =
+    match queue with
+    | [] -> ()
+    | set :: rest ->
+        let row = Array.make k 0 in
+        let new_sets = ref [] in
+        for r = 0 to k - 1 do
+          let c = A.nth sigma r in
+          let succ = Nfa.step nfa set c in
+          let id =
+            match SM.find_opt succ !ids with
+            | Some id -> id
+            | None ->
+                let id = !next_id in
+                incr next_id;
+                ids := SM.add succ id !ids;
+                new_sets := succ :: !new_sets;
+                id
+          in
+          row.(r) <- id
+        done;
+        rows := row :: !rows;
+        if List.exists (fun q -> List.mem q nfa.finals) set then
+          finals := SM.find set !ids :: !finals;
+        explore (rest @ List.rev !new_sets)
+  in
+  explore [ start_set ];
+  let num_states = !next_id in
+  let delta = Array.of_list (List.rev !rows) in
+  (* rows were produced in BFS id order because sets are dequeued in id
+     order; assert the invariant. *)
+  assert (Array.length delta = num_states);
+  let fin = Array.make num_states false in
+  List.iter (fun q -> fin.(q) <- true) !finals;
+  { sigma; num_states; start = 0; finals = fin; delta }
+
+let of_regex sigma r = of_nfa sigma (Nfa.of_regex r)
+
+let accepts t s =
+  let q = ref t.start in
+  String.iter (fun c -> q := t.delta.(!q).(A.rank t.sigma c)) s;
+  t.finals.(!q)
+
+let reachable_states t =
+  let seen = Array.make t.num_states false in
+  let rec go = function
+    | [] -> ()
+    | q :: rest ->
+        let fresh =
+          Array.to_list t.delta.(q) |> List.filter (fun p -> not seen.(p))
+        in
+        List.iter (fun p -> seen.(p) <- true) fresh;
+        go (fresh @ rest)
+  in
+  seen.(t.start) <- true;
+  go [ t.start ];
+  seen
+
+let num_reachable t =
+  Array.fold_left (fun n b -> if b then n + 1 else n) 0 (reachable_states t)
+
+let minimize t =
+  let k = A.size t.sigma in
+  let reach = reachable_states t in
+  (* Moore refinement: class.(q) starts as accepting/rejecting, then is
+     refined by successor-class signatures until stable. *)
+  let cls = Array.map (fun f -> if f then 1 else 0) t.finals in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let sig_tbl = Hashtbl.create 16 in
+    let next_cls = Array.make t.num_states 0 in
+    let next_id = ref 0 in
+    for q = 0 to t.num_states - 1 do
+      if reach.(q) then begin
+        let signature =
+          (cls.(q), Array.init k (fun r -> cls.(t.delta.(q).(r))))
+        in
+        let id =
+          match Hashtbl.find_opt sig_tbl signature with
+          | Some id -> id
+          | None ->
+              let id = !next_id in
+              incr next_id;
+              Hashtbl.add sig_tbl signature id;
+              id
+        in
+        next_cls.(q) <- id
+      end
+    done;
+    (* Detect refinement: number of classes grew, or classes changed. *)
+    let distinct_old =
+      let s = Hashtbl.create 8 in
+      Array.iteri (fun q c -> if reach.(q) then Hashtbl.replace s c ()) cls;
+      Hashtbl.length s
+    in
+    if !next_id <> distinct_old then changed := true;
+    Array.blit next_cls 0 cls 0 t.num_states
+  done;
+  (* Renumber classes contiguously with the start's class preserved. *)
+  let class_of q = cls.(q) in
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let id_of c =
+    match Hashtbl.find_opt remap c with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add remap c i;
+        i
+  in
+  let start = id_of (class_of t.start) in
+  (* Walk reachable states to register classes and build rows. *)
+  let rows = Hashtbl.create 16 in
+  let fin = Hashtbl.create 16 in
+  for q = 0 to t.num_states - 1 do
+    if reach.(q) then begin
+      let cq = id_of (class_of q) in
+      if not (Hashtbl.mem rows cq) then begin
+        let row = Array.init k (fun r -> id_of (class_of t.delta.(q).(r))) in
+        Hashtbl.replace rows cq row;
+        Hashtbl.replace fin cq t.finals.(q)
+      end
+    end
+  done;
+  let num_states = !next in
+  let delta = Array.init num_states (fun c -> Hashtbl.find rows c) in
+  let finals = Array.init num_states (fun c -> Hashtbl.find fin c) in
+  { sigma = t.sigma; num_states; start; finals; delta }
+
+let complement t = { t with finals = Array.map not t.finals }
+
+let product combine a b =
+  if not (A.equal a.sigma b.sigma) then
+    invalid_arg "Dfa.product: different alphabets";
+  let k = A.size a.sigma in
+  let id qa qb = (qa * b.num_states) + qb in
+  let num_states = a.num_states * b.num_states in
+  let delta =
+    Array.init num_states (fun q ->
+        let qa = q / b.num_states and qb = q mod b.num_states in
+        Array.init k (fun r -> id a.delta.(qa).(r) b.delta.(qb).(r)))
+  in
+  let finals =
+    Array.init num_states (fun q ->
+        let qa = q / b.num_states and qb = q mod b.num_states in
+        combine a.finals.(qa) b.finals.(qb))
+  in
+  { sigma = a.sigma; num_states; start = id a.start b.start; finals; delta }
+
+let inter = product ( && )
+let union = product ( || )
+
+let some_word t =
+  (* BFS from the start, tracking a shortest witness per state. *)
+  let k = A.size t.sigma in
+  let seen = Array.make t.num_states false in
+  let q = Queue.create () in
+  Queue.add (t.start, []) q;
+  seen.(t.start) <- true;
+  let rec go () =
+    if Queue.is_empty q then None
+    else
+      let state, path = Queue.pop q in
+      if t.finals.(state) then
+        Some (Strdb_util.Strutil.implode (List.rev path))
+      else begin
+        for r = 0 to k - 1 do
+          let p = t.delta.(state).(r) in
+          if not seen.(p) then begin
+            seen.(p) <- true;
+            Queue.add (p, A.nth t.sigma r :: path) q
+          end
+        done;
+        go ()
+      end
+  in
+  go ()
+
+let is_empty t = some_word t = None
+
+let difference_witness a b =
+  let in_a_not_b = inter a (complement b) in
+  let in_b_not_a = inter b (complement a) in
+  match (some_word in_a_not_b, some_word in_b_not_a) with
+  | None, None -> None
+  | Some w, None | None, Some w -> Some w
+  | Some w1, Some w2 ->
+      Some (if String.length w1 <= String.length w2 then w1 else w2)
+
+let equal a b = difference_witness a b = None

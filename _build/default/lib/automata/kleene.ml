@@ -1,0 +1,45 @@
+module type ALGEBRA = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val star : t -> t
+  val is_zero : t -> bool
+end
+
+module Make (K : ALGEBRA) = struct
+  (* Floyd–Warshall-style elimination: e.(i).(j) is the label of all paths
+     from i to j using only intermediate states < k, exactly the paper's
+     E_ij(k-1).  After processing every k, e.(i).(j) covers all paths. *)
+  let path_expression ~num_states ~start ~finals ~edges =
+    let n = num_states in
+    if n = 0 then K.zero
+    else begin
+      let e = Array.make_matrix n n K.zero in
+      List.iter
+        (fun (i, j, l) ->
+          if i < 0 || i >= n || j < 0 || j >= n then
+            invalid_arg "Kleene.path_expression: edge endpoint out of range";
+          e.(i).(j) <- K.plus e.(i).(j) l)
+        edges;
+      for k = 0 to n - 1 do
+        let ekk_star = K.star e.(k).(k) in
+        for i = 0 to n - 1 do
+          if not (K.is_zero e.(i).(k)) then
+            for j = 0 to n - 1 do
+              if not (K.is_zero e.(k).(j)) then
+                e.(i).(j) <-
+                  K.plus e.(i).(j) (K.times e.(i).(k) (K.times ekk_star e.(k).(j)))
+            done
+        done
+      done;
+      List.fold_left
+        (fun acc f ->
+          let direct = e.(start).(f) in
+          let contrib = if f = start then K.plus K.one direct else direct in
+          K.plus acc contrib)
+        K.zero finals
+    end
+end

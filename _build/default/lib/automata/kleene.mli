@@ -1,0 +1,43 @@
+(** Generic state elimination over any Kleene algebra.
+
+    The paper uses the same construction twice: converting classical NFAs to
+    regular expressions, and — in Theorem 3.2 — converting a k-FSA into a
+    string formula via the inductive path expressions [E_ijk] of
+    [Sippu–Soisalon-Soininen, Theorem 3.17].  Both are instances of solving
+    a transition matrix over a Kleene algebra, so we implement the algorithm
+    once, generically. *)
+
+module type ALGEBRA = sig
+  type t
+
+  val zero : t
+  (** The empty language / unsatisfiable label ([[ ]ₗ ¬⊤] in the paper). *)
+
+  val one : t
+  (** The unit label: the empty formula word [λ] / regex [ε]. *)
+
+  val plus : t -> t -> t
+  (** Union.  Implementations may simplify against {!zero}. *)
+
+  val times : t -> t -> t
+  (** Concatenation.  Implementations may simplify against {!zero}/{!one}. *)
+
+  val star : t -> t
+  (** Kleene closure. *)
+
+  val is_zero : t -> bool
+  (** Recognise (syntactic) zeros so elimination can prune dead paths. *)
+end
+
+module Make (K : ALGEBRA) : sig
+  val path_expression :
+    num_states:int ->
+    start:int ->
+    finals:int list ->
+    edges:(int * int * K.t) list ->
+    K.t
+  (** [path_expression ~num_states ~start ~finals ~edges] is the label-sum of
+      all paths from [start] to any final state, computed by the [E_ijk]
+      recurrence.  Multiple edges between the same pair of states are summed.
+      If [start] is itself final, the result includes {!K.one}. *)
+end

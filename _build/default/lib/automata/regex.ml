@@ -1,0 +1,194 @@
+type t =
+  | Empty
+  | Eps
+  | Chr of char
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+let seq_list = function
+  | [] -> Eps
+  | r :: rs -> List.fold_left (fun a b -> Seq (a, b)) r rs
+
+let alt_list = function
+  | [] -> Empty
+  | r :: rs -> List.fold_left (fun a b -> Alt (a, b)) r rs
+
+let plus r = Seq (r, Star r)
+let opt r = Alt (r, Eps)
+
+let power r k =
+  if k < 0 then invalid_arg "Regex.power: negative exponent";
+  seq_list (List.init k (fun _ -> r))
+
+let of_string s = seq_list (List.map (fun c -> Chr c) (Strdb_util.Strutil.explode s))
+
+let rec nullable = function
+  | Empty -> false
+  | Eps -> true
+  | Chr _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ -> true
+
+(* --- parser ------------------------------------------------------------- *)
+
+(* Grammar:  alt  ::= seq ('+' seq)*
+             seq  ::= post (post | '.' post)*
+             post ::= atom ('*')*          -- postfix '+' is handled in seq
+             atom ::= '(' alt ')' | '~' | '#' | char
+   A '+' directly after an atom/postfix is ambiguous with union; the paper
+   writes φ⁺ for φ.φ*, and in ASCII we reserve infix '+' for union only, so
+   there is no postfix plus in the concrete syntax — use [plus] or
+   [parse "r.r*"]. *)
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let fail msg = failwith (Printf.sprintf "Regex.parse: %s at position %d" msg !pos) in
+  let rec alt () =
+    let left = seq () in
+    skip_ws ();
+    match peek () with
+    | Some '+' ->
+        advance ();
+        Alt (left, alt ())
+    | _ -> left
+  and seq () =
+    let rec go acc =
+      skip_ws ();
+      match peek () with
+      | None | Some (')' | '+') -> acc
+      | Some '.' ->
+          advance ();
+          go (Seq (acc, post ()))
+      | Some _ -> go (Seq (acc, post ()))
+    in
+    go (post ())
+  and post () =
+    let a = atom () in
+    let rec stars a =
+      skip_ws ();
+      match peek () with
+      | Some '*' ->
+          advance ();
+          stars (Star a)
+      | _ -> a
+    in
+    stars a
+  and atom () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+        advance ();
+        let r = alt () in
+        skip_ws ();
+        (match peek () with
+        | Some ')' ->
+            advance ();
+            r
+        | _ -> fail "expected ')'")
+    | Some '~' ->
+        advance ();
+        Eps
+    | Some '#' ->
+        advance ();
+        Empty
+    | Some (')' | '*' | '+' | '.') -> fail "unexpected operator"
+    | Some c ->
+        advance ();
+        Chr c
+  in
+  let r = alt () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  r
+
+(* --- printing ----------------------------------------------------------- *)
+
+(* Precedence: Alt (lowest) < Seq < Star < atoms. *)
+let pp ppf r =
+  let rec go prec ppf r =
+    let paren level body =
+      if prec > level then Format.fprintf ppf "(%t)" body else body ppf
+    in
+    match r with
+    | Empty -> Format.pp_print_string ppf "#"
+    | Eps -> Format.pp_print_string ppf "~"
+    | Chr c -> Format.pp_print_char ppf c
+    | Alt (a, b) ->
+        paren 0 (fun ppf -> Format.fprintf ppf "%a+%a" (go 0) a (go 0) b)
+    | Seq (a, b) ->
+        paren 1 (fun ppf -> Format.fprintf ppf "%a%a" (go 1) a (go 1) b)
+    | Star a -> Format.fprintf ppf "%a*" (go 2) a
+  in
+  go 0 ppf r
+
+let to_string r = Strdb_util.Pretty.to_string pp r
+
+let rec size = function
+  | Empty | Eps | Chr _ -> 1
+  | Seq (a, b) | Alt (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+(* --- Brzozowski derivative matcher -------------------------------------- *)
+
+let rec deriv c = function
+  | Empty | Eps -> Empty
+  | Chr d -> if c = d then Eps else Empty
+  | Alt (a, b) -> Alt (deriv c a, deriv c b)
+  | Seq (a, b) ->
+      let da_b = Seq (deriv c a, b) in
+      if nullable a then Alt (da_b, deriv c b) else da_b
+  | Star a as r -> Seq (deriv c a, r)
+
+(* Light simplification keeps derivative terms from exploding. *)
+let rec simplify = function
+  | Seq (a, b) -> (
+      match (simplify a, simplify b) with
+      | Empty, _ | _, Empty -> Empty
+      | Eps, b -> b
+      | a, Eps -> a
+      | a, b -> Seq (a, b))
+  | Alt (a, b) -> (
+      match (simplify a, simplify b) with
+      | Empty, b -> b
+      | a, Empty -> a
+      | a, b -> if a = b then a else Alt (a, b))
+  | Star a -> (
+      match simplify a with Empty | Eps -> Eps | a -> Star a)
+  | r -> r
+
+let matches_naive r s =
+  let r = String.fold_left (fun r c -> simplify (deriv c r)) r s in
+  nullable r
+
+(* --- random generation --------------------------------------------------- *)
+
+let random g sigma depth =
+  let module P = Strdb_util.Prng in
+  let rec go depth =
+    if depth = 0 then
+      match P.int g 3 with
+      | 0 -> Eps
+      | 1 -> Chr (P.char g sigma)
+      | _ -> Chr (P.char g sigma)
+    else
+      match P.int g 6 with
+      | 0 -> Chr (P.char g sigma)
+      | 1 -> Eps
+      | 2 -> Seq (go (depth - 1), go (depth - 1))
+      | 3 -> Alt (go (depth - 1), go (depth - 1))
+      | 4 -> Star (go (depth - 1))
+      | _ -> Seq (go (depth - 1), go (depth - 1))
+  in
+  go depth

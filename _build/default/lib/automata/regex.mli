@@ -1,0 +1,60 @@
+(** Regular expressions over a character alphabet.
+
+    This is the classical one-tape substrate used by the paper in three
+    places: example query 6 ("list tuples whose second component is of the
+    form (gc+a)*"), Theorem 6.1 (unidirectional one-variable string formulae
+    define exactly the regular languages), and as the shape of string
+    formulae themselves, which are regular expressions over atomic string
+    formulae. *)
+
+type t =
+  | Empty  (** ∅ — denotes the empty language. *)
+  | Eps  (** ε — denotes [{""}]. *)
+  | Chr of char  (** a single character. *)
+  | Seq of t * t  (** concatenation. *)
+  | Alt of t * t  (** union, written [+] as in the paper. *)
+  | Star of t  (** Kleene closure. *)
+
+val seq_list : t list -> t
+(** Concatenation of a list, [Eps] when empty. *)
+
+val alt_list : t list -> t
+(** Union of a list, [Empty] when empty. *)
+
+val plus : t -> t
+(** [plus r] is [r.r*], the paper's [r⁺]. *)
+
+val opt : t -> t
+(** [opt r] is [r + ε]. *)
+
+val power : t -> int -> t
+(** [power r k] is [r] concatenated [k] times with itself; [Eps] for [k=0]. *)
+
+val of_string : string -> t
+(** Literal regex: the concatenation of the characters of the string. *)
+
+val nullable : t -> bool
+(** Does the language contain the empty string? *)
+
+val parse : string -> t
+(** Parse the paper's concrete syntax: juxtaposition or [.] for
+    concatenation, [+] for union, [*] and postfix [+] for closure, [( )] for
+    grouping, [~] for ε, [#] for ∅; every other non-space character denotes
+    itself.  @raise Failure on syntax errors. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print back in the concrete syntax accepted by {!parse}. *)
+
+val to_string : t -> string
+(** [to_string r] is [pp] rendered to a string. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val matches_naive : t -> string -> bool
+(** Reference matcher by Brzozowski derivatives; independent of the NFA/DFA
+    pipeline, used to cross-validate it. *)
+
+val random : Strdb_util.Prng.t -> Strdb_util.Alphabet.t -> int -> t
+(** [random g sigma depth] draws a random regex of nesting depth at most
+    [depth] over [sigma]; used by property tests. *)

@@ -1,0 +1,36 @@
+module K = Kleene.Make (struct
+  type t = Regex.t
+
+  let zero = Regex.Empty
+  let one = Regex.Eps
+
+  let plus a b =
+    match (a, b) with
+    | Regex.Empty, x | x, Regex.Empty -> x
+    | a, b -> if a = b then a else Regex.Alt (a, b)
+
+  let times a b =
+    match (a, b) with
+    | Regex.Empty, _ | _, Regex.Empty -> Regex.Empty
+    | Regex.Eps, x | x, Regex.Eps -> x
+    | a, b -> Regex.Seq (a, b)
+
+  let star = function
+    | Regex.Empty | Regex.Eps -> Regex.Eps
+    | Regex.Star _ as s -> s
+    | r -> Regex.Star r
+
+  let is_zero r = r = Regex.Empty
+end)
+
+let convert (nfa : Nfa.t) =
+  let edges =
+    List.map
+      (fun (p, l, q) ->
+        match l with
+        | None -> (p, q, Regex.Eps)
+        | Some c -> (p, q, Regex.Chr c))
+      nfa.edges
+  in
+  K.path_expression ~num_states:nfa.num_states ~start:nfa.start
+    ~finals:nfa.finals ~edges

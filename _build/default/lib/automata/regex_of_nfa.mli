@@ -1,0 +1,7 @@
+(** NFA → regular expression via generic state elimination.
+
+    Instantiates {!Kleene.Make} with the regex algebra; used to round-trip
+    regular languages in tests and as the model for Theorem 3.2. *)
+
+val convert : Nfa.t -> Regex.t
+(** [convert nfa] is a regular expression denoting exactly [L(nfa)]. *)

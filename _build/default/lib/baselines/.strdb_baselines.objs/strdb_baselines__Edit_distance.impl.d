@@ -1,0 +1,1 @@
+lib/baselines/edit_distance.ml: Array String

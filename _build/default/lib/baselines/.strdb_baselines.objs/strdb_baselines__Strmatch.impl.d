@@ -1,0 +1,1 @@
+lib/baselines/strmatch.ml: Array String

@@ -1,0 +1,53 @@
+type cnf = int list list
+
+let vars cnf =
+  List.concat_map (List.map abs) cnf |> List.sort_uniq compare
+
+let eval cnf assignment =
+  let value v = match List.assoc_opt v assignment with Some b -> b | None -> false in
+  List.for_all
+    (List.exists (fun lit -> if lit > 0 then value lit else not (value (-lit))))
+    cnf
+
+(* Assign a literal: drop satisfied clauses, shrink the others. *)
+let assign lit cnf =
+  List.filter_map
+    (fun clause ->
+      if List.mem lit clause then None
+      else Some (List.filter (fun l -> l <> -lit) clause))
+    cnf
+
+let rec dpll cnf acc =
+  if cnf = [] then Some acc
+  else if List.mem [] cnf then None
+  else
+    (* Unit propagation. *)
+    match List.find_opt (fun c -> List.length c = 1) cnf with
+    | Some [ lit ] -> dpll (assign lit cnf) (lit :: acc)
+    | Some _ -> assert false
+    | None -> (
+        (* Pure literal elimination. *)
+        let lits = List.concat cnf |> List.sort_uniq compare in
+        match List.find_opt (fun l -> not (List.mem (-l) lits)) lits with
+        | Some lit -> dpll (assign lit cnf) (lit :: acc)
+        | None -> (
+            let v = abs (List.hd (List.hd cnf)) in
+            match dpll (assign v cnf) (v :: acc) with
+            | Some _ as r -> r
+            | None -> dpll (assign (-v) cnf) (-v :: acc)))
+
+let solve cnf =
+  match dpll cnf [] with
+  | None -> None
+  | Some lits ->
+      let assigned = List.map (fun l -> (abs l, l > 0)) lits in
+      let all = vars cnf in
+      Some
+        (List.map
+           (fun v ->
+             match List.assoc_opt v assigned with
+             | Some b -> (v, b)
+             | None -> (v, false))
+           all)
+
+let satisfiable cnf = solve cnf <> None

@@ -1,0 +1,23 @@
+(** A small DPLL SAT solver: the independent referee for Theorem 6.5's
+    SAT-as-alignment-calculus construction.
+
+    Formulae are in CNF over positive variable indices; a literal is a
+    nonzero integer, negative meaning negated (DIMACS convention). *)
+
+type cnf = int list list
+(** Clauses of literals; variable indices are 1-based. *)
+
+val satisfiable : cnf -> bool
+(** DPLL with unit propagation and pure-literal elimination. *)
+
+val solve : cnf -> (int * bool) list option
+(** A satisfying assignment (variable, value) covering every variable that
+    occurs, or [None].  The returned assignment is total on occurring
+    variables and sorted by variable. *)
+
+val eval : cnf -> (int * bool) list -> bool
+(** Evaluate a CNF under a (total) assignment; unassigned variables count
+    as false. *)
+
+val vars : cnf -> int list
+(** Occurring variables, sorted. *)

@@ -1,0 +1,47 @@
+let distance u v =
+  let lu = String.length u and lv = String.length v in
+  if lu = 0 then lv
+  else if lv = 0 then lu
+  else begin
+    (* Keep two rows; rows indexed by positions of v. *)
+    let prev = Array.init (lv + 1) (fun j -> j) in
+    let cur = Array.make (lv + 1) 0 in
+    for i = 1 to lu do
+      cur.(0) <- i;
+      for j = 1 to lv do
+        let cost = if u.[i - 1] = v.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lv + 1)
+    done;
+    prev.(lv)
+  end
+
+let within u v k =
+  let lu = String.length u and lv = String.length v in
+  if abs (lu - lv) > k then false
+  else begin
+    (* Banded DP: only cells with |i-j| <= k matter. *)
+    let inf = max_int / 2 in
+    let prev = Array.make (lv + 1) inf in
+    let cur = Array.make (lv + 1) inf in
+    for j = 0 to min lv k do
+      prev.(j) <- j
+    done;
+    for i = 1 to lu do
+      Array.fill cur 0 (lv + 1) inf;
+      let lo = max 0 (i - k) and hi = min lv (i + k) in
+      if lo = 0 then cur.(0) <- i;
+      for j = max 1 lo to hi do
+        let cost = if u.[i - 1] = v.[j - 1] then 0 else 1 in
+        let best =
+          min
+            (min (if j > 0 then cur.(j - 1) + 1 else inf) (prev.(j) + 1))
+            (prev.(j - 1) + cost)
+        in
+        cur.(j) <- best
+      done;
+      Array.blit cur 0 prev 0 (lv + 1)
+    done;
+    prev.(lv) <= k
+  end

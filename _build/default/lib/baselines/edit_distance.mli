@@ -1,0 +1,15 @@
+(** Classical dynamic-programming edit distance (Levenshtein), the
+    independent comparator for Example 8's string formula.
+
+    Unit costs for substitution, insertion and deletion, as in the paper's
+    definition ("each step can consist of replacing one symbol by another,
+    or of inserting or deleting a symbol", citing Sankoff–Kruskal). *)
+
+val distance : string -> string -> int
+(** [distance u v] is the minimum number of edit steps turning [u] into
+    [v]; O(|u|·|v|) time, O(min) space. *)
+
+val within : string -> string -> int -> bool
+(** [within u v k] decides [distance u v <= k] with the banded DP
+    (O(k·min(|u|,|v|)) time), the efficient baseline benches compare
+    against. *)

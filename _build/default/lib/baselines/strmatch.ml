@@ -1,0 +1,62 @@
+let naive_find ~pattern text =
+  let lp = String.length pattern and lt = String.length text in
+  let rec go i =
+    if i + lp > lt then None
+    else if String.sub text i lp = pattern then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Failure function: fail.(i) = length of the longest proper border of
+   pattern[0..i]. *)
+let failure_table pattern =
+  let m = String.length pattern in
+  let fail = Array.make m 0 in
+  let k = ref 0 in
+  for i = 1 to m - 1 do
+    while !k > 0 && pattern.[!k] <> pattern.[i] do
+      k := fail.(!k - 1)
+    done;
+    if pattern.[!k] = pattern.[i] then incr k;
+    fail.(i) <- !k
+  done;
+  fail
+
+let kmp_scan ~pattern text ~on_match =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 then ignore (on_match 0)
+  else begin
+    let fail = failure_table pattern in
+    let k = ref 0 in
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < n do
+      while !k > 0 && pattern.[!k] <> text.[!i] do
+        k := fail.(!k - 1)
+      done;
+      if pattern.[!k] = text.[!i] then incr k;
+      if !k = m then begin
+        if on_match (!i - m + 1) then stop := true else k := fail.(!k - 1)
+      end;
+      incr i
+    done
+  end
+
+let kmp_find ~pattern text =
+  let result = ref None in
+  kmp_scan ~pattern text ~on_match:(fun i ->
+      result := Some i;
+      true);
+  !result
+
+let occurs ~pattern text = kmp_find ~pattern text <> None
+
+let count_occurrences ~pattern text =
+  if pattern = "" then String.length text + 1
+  else begin
+    let n = ref 0 in
+    kmp_scan ~pattern text ~on_match:(fun _ ->
+        incr n;
+        false);
+    !n
+  end

@@ -1,0 +1,20 @@
+(** Substring search baselines for Example 7 ("x occurs in y").
+
+    The paper points to time–space-optimal string matching (Galil–Seiferas)
+    as an application area of multitape two-way automata; we provide the
+    standard naive and Knuth–Morris–Pratt matchers as independent referees
+    and bench comparators. *)
+
+val naive_find : pattern:string -> string -> int option
+(** Index of the first occurrence by the quadratic scan, [None] if absent.
+    The empty pattern occurs at index 0. *)
+
+val kmp_find : pattern:string -> string -> int option
+(** Knuth–Morris–Pratt: linear-time first occurrence. *)
+
+val occurs : pattern:string -> string -> bool
+(** [kmp_find] as a predicate. *)
+
+val count_occurrences : pattern:string -> string -> int
+(** Number of (possibly overlapping) occurrences; the empty pattern occurs
+    [length + 1] times. *)

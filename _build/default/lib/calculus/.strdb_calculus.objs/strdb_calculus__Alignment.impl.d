@@ -1,0 +1,1 @@
+lib/calculus/alignment.ml: Format List Map Sformula Strdb_fsa String Window

@@ -1,0 +1,1 @@
+lib/calculus/alignment.mli: Format Sformula Strdb_fsa Window

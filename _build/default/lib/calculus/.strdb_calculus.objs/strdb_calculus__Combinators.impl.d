@@ -1,0 +1,1 @@
+lib/calculus/combinators.ml: List Regex_embed Sformula Strdb_util Window

@@ -1,0 +1,1 @@
+lib/calculus/combinators.mli: Regex_embed Sformula Window

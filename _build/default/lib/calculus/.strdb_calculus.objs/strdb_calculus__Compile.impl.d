@@ -1,0 +1,1 @@
+lib/calculus/compile.ml: Array List Option Printf Sformula Strdb_fsa Strdb_util String Window

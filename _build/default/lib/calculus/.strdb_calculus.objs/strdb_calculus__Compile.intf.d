@@ -1,0 +1,1 @@
+lib/calculus/compile.mli: Sformula Strdb_fsa Strdb_util Window

@@ -1,0 +1,1 @@
+lib/calculus/database.ml: Format List Map Printf Strdb_util String

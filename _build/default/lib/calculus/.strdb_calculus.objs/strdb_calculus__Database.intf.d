@@ -1,0 +1,1 @@
+lib/calculus/database.mli: Format Strdb_util

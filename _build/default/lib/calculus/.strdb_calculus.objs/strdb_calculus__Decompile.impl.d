@@ -1,0 +1,1 @@
+lib/calculus/decompile.ml: Array Hashtbl List Queue Sformula Strdb_automata Strdb_fsa Window

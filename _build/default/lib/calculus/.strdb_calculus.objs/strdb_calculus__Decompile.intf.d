@@ -1,0 +1,1 @@
+lib/calculus/decompile.mli: Sformula Strdb_fsa Window

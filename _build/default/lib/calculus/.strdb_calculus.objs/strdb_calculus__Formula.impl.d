@@ -1,0 +1,1 @@
+lib/calculus/formula.ml: Compile Database Format Hashtbl List Naive Sformula Strdb_fsa Strdb_util String Window

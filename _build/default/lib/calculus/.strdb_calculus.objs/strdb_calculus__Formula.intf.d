@@ -1,0 +1,1 @@
+lib/calculus/formula.mli: Database Format Sformula Strdb_util Window

@@ -1,0 +1,1 @@
+lib/calculus/naive.ml: Alignment Hashtbl List Sformula Strdb_util

@@ -1,0 +1,1 @@
+lib/calculus/naive.mli: Alignment Sformula Strdb_util Window

@@ -1,0 +1,1 @@
+lib/calculus/regex_embed.ml: Sformula Strdb_automata Window

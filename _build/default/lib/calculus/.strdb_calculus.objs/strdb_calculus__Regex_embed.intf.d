@@ -1,0 +1,1 @@
+lib/calculus/regex_embed.mli: Sformula Strdb_automata Window

@@ -1,0 +1,1 @@
+lib/calculus/seqpred.ml: List Sformula String Window

@@ -1,0 +1,1 @@
+lib/calculus/seqpred.mli: Sformula Window

@@ -1,0 +1,1 @@
+lib/calculus/sformula.ml: Format List Strdb_util String Window

@@ -1,0 +1,1 @@
+lib/calculus/sformula.mli: Format Window

@@ -1,0 +1,1 @@
+lib/calculus/sparser.ml: Format Formula List Sformula String Window

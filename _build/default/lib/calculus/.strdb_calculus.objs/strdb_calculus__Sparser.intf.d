@@ -1,0 +1,1 @@
+lib/calculus/sparser.mli: Formula Sformula

@@ -1,0 +1,1 @@
+lib/calculus/temporal.mli: Sformula Window

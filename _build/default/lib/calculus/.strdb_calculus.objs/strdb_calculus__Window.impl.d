@@ -1,0 +1,1 @@
+lib/calculus/window.ml: Array Format List Printf Stdlib Strdb_fsa

@@ -1,0 +1,1 @@
+lib/calculus/window.mli: Format Strdb_fsa Strdb_util

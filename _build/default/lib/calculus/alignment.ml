@@ -1,0 +1,58 @@
+type row = { content : string; offset : int }
+
+module VM = Map.Make (String)
+
+type t = row VM.t
+
+let initial bindings =
+  List.fold_left
+    (fun m (x, w) ->
+      if VM.mem x m then invalid_arg ("Alignment.initial: duplicate variable " ^ x)
+      else VM.add x { content = w; offset = 0 } m)
+    VM.empty bindings
+
+let bind t x w = VM.add x { content = w; offset = 0 } t
+let row t x = match VM.find_opt x t with Some r -> r | None -> raise Not_found
+let window t x =
+  let r = row t x in
+  Strdb_fsa.Symbol.of_tape r.content r.offset
+
+let shift_row dir r =
+  let n = String.length r.content in
+  if n = 0 then r
+  else
+    match dir with
+    | Sformula.Left -> if r.offset <= n then { r with offset = r.offset + 1 } else r
+    | Sformula.Right -> if r.offset >= 1 then { r with offset = r.offset - 1 } else r
+
+let transpose t (tr : Sformula.transpose) =
+  List.fold_left
+    (fun m x ->
+      let r = row m x in
+      VM.add x (shift_row tr.dir r) m)
+    t tr.tvars
+
+let satisfies_window t phi = Window.eval (window t) phi
+let string_of_row t x = (row t x).content
+let vars t = VM.bindings t |> List.map fst
+let equal (a : t) (b : t) = VM.equal (fun (r1 : row) r2 -> r1 = r2) a b
+
+let pp ppf t =
+  (* Render rows aligned on the window column, marked with '|'. *)
+  let rows = VM.bindings t in
+  let max_left =
+    List.fold_left (fun m (_, r) -> max m r.offset) 0 rows
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (x, r) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      let pad = String.make (max_left - r.offset) ' ' in
+      let before = String.sub r.content 0 (min r.offset (String.length r.content)) in
+      let after =
+        if r.offset >= String.length r.content then ""
+        else String.sub r.content r.offset (String.length r.content - r.offset)
+      in
+      Format.fprintf ppf "%s: %s%s|%s" x pad before after)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Alignments: the states of the string world (Section 2, Figs. 1–2).
+
+    An alignment stacks strings in rows, each shifted relative to a fixed
+    vertical {e window} column.  We represent each materialised row by its
+    string together with the window's offset into it, in the same coordinate
+    system as FSA head positions: offset 0 means the window sits just left
+    of the string (on [⊢]), offset [j] with [1 ≤ j ≤ |w|] means the window
+    shows [w.[j-1]], and offset [|w|+1] means just right of it.  The initial
+    alignment of a query places every row at offset 0 — "the leftmost symbol
+    one position to the right of the window". *)
+
+type row = { content : string; offset : int }
+(** One row; invariant [0 ≤ offset ≤ length content + 1]. *)
+
+type t
+(** A finite stack of materialised rows indexed by variable name.  (The
+    paper's alignments have infinitely many rows; a model checker only ever
+    inspects the rows named by the formula, so we materialise exactly
+    those.) *)
+
+val initial : (Window.var * string) list -> t
+(** [initial bindings] is the initial alignment [A₀] holding each bound
+    string at offset 0.  @raise Invalid_argument on duplicate variables. *)
+
+val bind : t -> Window.var -> string -> t
+(** Add (or replace) a row at offset 0 — used when a quantifier picks a
+    fresh string. *)
+
+val row : t -> Window.var -> row
+(** The row of a variable.  @raise Not_found if unbound. *)
+
+val window : t -> Window.var -> Strdb_fsa.Symbol.t
+(** The symbol in the variable's window position; endmarkers mean the
+    paper's "undefined". *)
+
+val transpose : t -> Sformula.transpose -> t
+(** Apply a transpose: each named row shifts one position (the window
+    offset moves opposite-wise), unless it is already at the corresponding
+    end — the guard [K ∩ {0,1} ≠ ∅] of Section 2.  Rows holding [ε] never
+    move.  Unbound names raise [Not_found]. *)
+
+val satisfies_window : t -> Window.t -> bool
+(** Evaluate a window formula on this alignment (truth definitions 1–5). *)
+
+val string_of_row : t -> Window.var -> string
+(** [σ_A(x)]: the string a row represents (independent of its offset). *)
+
+val vars : t -> Window.var list
+(** The materialised row names, sorted. *)
+
+val equal : t -> t -> bool
+(** Same rows with the same contents and offsets. *)
+
+val pp : Format.formatter -> t -> unit
+(** Draw the alignment with the window column marked, as in Fig. 1. *)

@@ -1,0 +1,209 @@
+type var = Window.var
+
+module W = Window
+module S = Sformula
+
+let advance_eq xs = S.star (S.left xs (W.all_eq xs))
+let all_exhausted xs = S.left xs (W.all_empty xs)
+
+let literal x s =
+  S.seq
+    (List.map (fun c -> S.left [ x ] (W.Is_char (x, c))) (Strdb_util.Strutil.explode s)
+    @ [ S.left [ x ] (W.Is_empty x) ])
+
+let equal_s x y = S.seq [ advance_eq [ x; y ]; all_exhausted [ x; y ] ]
+
+let concat3 x y z =
+  S.seq
+    [
+      S.star (S.left [ x; y ] (W.Eq (x, y)));
+      S.star (S.left [ x; z ] (W.Eq (x, z)));
+      S.left [ x; y; z ] (W.all_empty [ x; y; z ]);
+    ]
+
+let manifold x y =
+  (* Example 4: repeatedly check that y is a prefix of the rest of x,
+     rewinding y after each round. *)
+  let round =
+    S.seq
+      [
+        advance_eq [ x; y ];
+        S.left [ y ] (W.Is_empty y);
+        S.star (S.right [ y ] (W.is_not_empty y));
+        S.right [ y ] (W.Is_empty y);
+      ]
+  in
+  S.seq [ S.star round; advance_eq [ x; y ]; all_exhausted [ x; y ] ]
+
+let shuffle3 x y z =
+  S.seq
+    [
+      S.star (S.alt [ S.left [ x; y ] (W.Eq (x, y)); S.left [ x; z ] (W.Eq (x, z)) ]);
+      S.left [ x; y; z ] (W.all_empty [ x; y; z ]);
+    ]
+
+let regex_match = Regex_embed.matches
+
+let occurs_in x y =
+  S.seq
+    [
+      S.star (S.left [ y ] W.True);
+      S.star (S.left [ x; y ] (W.Eq (x, y)));
+      S.left [ x ] (W.Is_empty x);
+    ]
+
+let edit_distance_le x y k =
+  if k < 0 then invalid_arg "Combinators.edit_distance_le: negative bound";
+  let matches = S.star (S.left [ x; y ] (W.Eq (x, y))) in
+  let one_edit =
+    S.alt [ S.left [ x; y ] W.True; S.left [ x ] W.True; S.left [ y ] W.True ]
+  in
+  S.seq
+    [ matches; S.power (S.seq [ one_edit; matches ]) k; all_exhausted [ x; y ] ]
+
+let edit_distance_counter x y z c =
+  let matches = S.star (S.left [ x; y ] (W.Eq (x, y))) in
+  let one_edit =
+    S.alt
+      [
+        S.left [ x; y; z ] (W.Is_char (z, c));
+        S.left [ x; z ] (W.Is_char (z, c));
+        S.left [ y; z ] (W.Is_char (z, c));
+      ]
+  in
+  S.seq
+    [
+      matches;
+      S.star (S.seq [ one_edit; matches ]);
+      S.left [ x; y; z ] (W.all_empty [ x; y; z ]);
+    ]
+
+let axbxa x y z a b =
+  S.seq
+    [
+      S.left [ x ] (W.Is_char (x, a));
+      S.star (S.left [ x; y ] (W.Eq (x, y)));
+      S.left [ x; y ] W.(Is_char (x, b) && Is_empty y);
+      S.star (S.left [ x; z ] (W.Eq (x, z)));
+      S.left [ x; z ] W.(Is_char (x, a) && Is_empty z);
+      S.left [ x ] (W.Is_empty x);
+    ]
+
+let equal_count_parts x y z ca cb =
+  let counting =
+    S.seq
+      [
+        S.star
+          (S.alt
+             [
+               S.left [ x; y ] W.(Is_char (x, ca) && is_not_empty y);
+               S.left [ x; z ] W.(Is_char (x, cb) && is_not_empty z);
+             ]);
+        S.left [ x; y; z ] (W.all_empty [ x; y; z ]);
+      ]
+  in
+  let same_length =
+    S.seq
+      [
+        S.star (S.left [ y; z ] W.(is_not_empty y && is_not_empty z));
+        S.left [ y; z ] (W.all_empty [ y; z ]);
+      ]
+  in
+  (counting, same_length)
+
+let anbncn x y =
+  S.seq
+    [
+      S.star (S.left [ x; y ] W.(Is_char (x, 'a') && is_not_empty y));
+      S.left [ y ] (W.Is_empty y);
+      S.star
+        (S.seq
+           [ S.left [ x ] W.True; S.right [ y ] W.(Is_char (x, 'b') && is_not_empty y) ]);
+      S.right [ y ] (W.Is_empty y);
+      S.star (S.left [ x; y ] W.(Is_char (x, 'c') && is_not_empty y));
+      S.left [ x; y ] (W.all_empty [ x; y ]);
+    ]
+
+let translation_halves_parts x y z pairs =
+  let split =
+    S.seq
+      [
+        S.star (S.left [ x; y ] (W.Eq (x, y)));
+        S.left [ y ] (W.Is_empty y);
+        S.star (S.left [ x; z ] (W.Eq (x, z)));
+        S.left [ x; z ] (W.all_empty [ x; z ]);
+      ]
+  in
+  let translated =
+    match pairs with
+    | [] -> invalid_arg "Combinators.translation_halves_parts: empty translation"
+    | _ ->
+        let cases =
+          List.map
+            (fun (a, b) -> W.(Is_char (y, a) && Is_char (z, b)))
+            pairs
+        in
+        let disj = List.fold_left (fun acc w -> W.Or (acc, w)) (List.hd cases) (List.tl cases) in
+        S.seq
+          [ S.star (S.left [ y; z ] disj); S.left [ y; z ] (W.all_empty [ y; z ]) ]
+  in
+  (split, translated)
+
+let proper_prefix x y =
+  S.seq
+    [
+      S.star (S.left [ x; y ] (W.Eq (x, y)));
+      S.left [ x; y ] W.(Is_empty x && is_not_empty y);
+    ]
+
+let prefix x y =
+  S.seq [ S.star (S.left [ x; y ] (W.Eq (x, y))); S.left [ x ] (W.Is_empty x) ]
+
+let suffix x y =
+  S.seq
+    [
+      S.star (S.left [ y ] W.True);
+      S.star (S.left [ x; y ] (W.Eq (x, y)));
+      S.left [ x; y ] (W.all_empty [ x; y ]);
+    ]
+
+let subsequence x y =
+  S.seq
+    [
+      S.star
+        (S.seq [ S.star (S.left [ y ] W.True); S.left [ x; y ] (W.Eq (x, y)) ]);
+      S.left [ x ] (W.Is_empty x);
+    ]
+
+let reverse_of x y =
+  S.seq
+    [
+      (* Wind y to its right end... *)
+      S.star (S.left [ y ] (W.is_not_empty y));
+      S.left [ y ] (W.Is_empty y);
+      (* ...then read x forwards against y backwards. *)
+      S.star (S.seq [ S.left [ x ] W.True; S.right [ y ] (W.Eq (x, y)) ]);
+      S.left [ x ] (W.Is_empty x);
+      S.right [ y ] (W.Is_empty y);
+    ]
+
+let rewind_each xs =
+  S.seq
+    (List.map
+       (fun x ->
+         S.seq
+           [
+             S.star (S.right [ x ] (W.is_not_empty x));
+             S.right [ x ] (W.Is_empty x);
+           ])
+       xs)
+
+let suffix_rewind xs =
+  match xs with
+  | [] -> invalid_arg "Combinators.suffix_rewind: no variables"
+  | x :: _ ->
+      S.seq
+        [
+          S.star (S.right xs W.(all_eq xs && is_not_empty x));
+          S.right xs (W.all_empty xs);
+        ]

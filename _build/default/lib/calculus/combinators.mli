@@ -1,0 +1,106 @@
+(** The worked example queries of Section 2 as a reusable combinator
+    library.
+
+    Each function returns the {e string-formula} part of the corresponding
+    example, parameterised by variable names, so the same construction can
+    be reused inside larger formulae, compiled to FSAs, or wrapped in the
+    relational layer.  Example numbers refer to the paper's Section 2
+    list. *)
+
+type var = Window.var
+
+val advance_eq : var list -> Sformula.t
+(** [(\[xs\]ₗ x₁=…=x_k)*]: march the rows forward while their window
+    characters agree — the workhorse prefix of most examples. *)
+
+val all_exhausted : var list -> Sformula.t
+(** [\[xs\]ₗ x₁=…=x_k=ε]: one more step, after which every row is past its
+    end.  Concatenated after {!advance_eq} this closes an equality check. *)
+
+val literal : var -> string -> Sformula.t
+(** Example 1: the row holds exactly the given constant string. *)
+
+val equal_s : var -> var -> Sformula.t
+(** Example 2, the paper's [x =ₛ y]: the two rows hold the same string. *)
+
+val concat3 : var -> var -> var -> Sformula.t
+(** Example 3: [x] is the concatenation of [y] and [z]. *)
+
+val manifold : var -> var -> Sformula.t
+(** Example 4, the paper's [x ∈ₛ* y]: [x = y·y·…·y] (at least one copy;
+    rewinds [y] with right transposes, so [y] is bidirectional). *)
+
+val shuffle3 : var -> var -> var -> Sformula.t
+(** Example 5: [x] is an interleaving of [y] and [z]. *)
+
+val regex_match : var -> Regex_embed.t -> Sformula.t
+(** Example 6 generalised: the row's string matches the classical regular
+    expression (the Theorem 6.1 embedding; alias of {!Regex_embed.matches}). *)
+
+val occurs_in : var -> var -> Sformula.t
+(** Example 7: the string in [x] occurs (contiguously) in [y]. *)
+
+val edit_distance_le : var -> var -> int -> Sformula.t
+(** Example 8: the edit distance between the rows is at most [k] (a
+    constant, as in the paper). *)
+
+val edit_distance_counter : var -> var -> var -> char -> Sformula.t
+(** Example 8's counting variant: holds when the third row is [aᵏ] for some
+    [k] at least the edit distance of the first two (and at most
+    [k|u|+|v|]); the counter character is the last argument. *)
+
+val axbxa : var -> var -> var -> char -> char -> Sformula.t
+(** Example 9: the first row is [a·X·b·X·a] where [X] is the string shared
+    by rows two and three (which the caller constrains with {!equal_s});
+    the two marker characters are parameters. *)
+
+val equal_count_parts : var -> var -> var -> char -> char -> Sformula.t * Sformula.t
+(** Example 10: the first row consists only of the two given characters, in
+    equal numbers.  Rows two and three are the paper's counter strings; the
+    two returned string formulae are the example's two conjuncts, to be
+    combined with relational [∧] (which resets the alignment). *)
+
+val anbncn : var -> var -> Sformula.t
+(** Example 11: the first row is [aⁿbⁿcⁿ]; the second is the counter string
+    of length [n].  Requires [a], [b], [c] in the alphabet. *)
+
+val translation_halves_parts :
+  var -> var -> var -> (char * char) list -> Sformula.t * Sformula.t
+(** Example 12 generalised: the first row is [y·z] (witnessed by rows two
+    and three) where [z] is [y] translated by the given character bijection
+    (the paper uses [\[a↦b; b↦a\]]).  Returns the example's two conjuncts
+    for relational [∧].  The first conjunct additionally requires the first
+    row exhausted at the end ([x=z=ε]), tightening the published formula,
+    which would otherwise ignore a trailing suffix of [x]. *)
+
+val proper_prefix : var -> var -> Sformula.t
+(** The Section 3 formula [ω]'s core: row [x] is a proper prefix of row
+    [y] — the classic {e unsafe} generator used in safety tests. *)
+
+val prefix : var -> var -> Sformula.t
+(** Row [x] is a (not necessarily proper) prefix of row [y]. *)
+
+val suffix : var -> var -> Sformula.t
+(** Row [x] is a suffix of row [y]: skip a prefix of [y], then match to the
+    simultaneous end.  Unidirectional. *)
+
+val subsequence : var -> var -> Sformula.t
+(** Row [x] is a (scattered) subsequence of row [y].  Unidirectional. *)
+
+val reverse_of : var -> var -> Sformula.t
+(** Row [x] is the reversal of row [y]: wind [y] to its right end, then
+    advance [x] forward while stepping [y] backward, comparing windows.
+    [y] is bidirectional — reversal is the classic operation the paper's
+    one-way fragments cannot express (cf. the remark that constant-limit
+    safety "precludes constructing string concatenations or reversals"). *)
+
+val suffix_rewind : var list -> Sformula.t
+(** [(\[xs\]ᵣ x₁=…≠ε)*·\[xs\]ᵣ x₁=…=ε]: rewind rows in lockstep back to
+    their left ends — the "(C)" reset idiom of Theorem 5.1 (Eq. 7).  The
+    lockstep window tests require the rows to hold {e equal} strings; for
+    rows with unrelated contents use {!rewind_each}. *)
+
+val rewind_each : var list -> Sformula.t
+(** Rewind each listed row to its left end independently (one
+    [(\[x\]ᵣ x≠ε)*·\[x\]ᵣ x=ε] block per row) — resets rows of unrelated
+    content so a following formula starts from the initial alignment. *)

@@ -1,0 +1,39 @@
+(** The string-formula compiler of Theorem 3.1.
+
+    For a string formula [φ] on variables [x₁,…,x_k], build a k-FSA [A_φ]
+    with [L(A_φ) = ⟨φ⟩] satisfying the theorem's structural properties:
+
+    + tape [i] is bidirectional only if variable [xᵢ] is;
+    + the start state has no incoming transitions;
+    + either [A_φ] is a single non-final start state or every transition
+      lies on a path from the start to the unique final state;
+    + the final state has no outgoing transitions and its incoming
+      transitions are exactly the stationary ones;
+    + (by construction) disregarding bidirectional tapes, every path is
+      traced by some computation.
+
+    Atomic formulae become the two-edge gadgets of Fig. 4, stationary
+    transitions are bypassed as in Fig. 5, and concatenation/union/star
+    splice the sub-automata as in the theorem's proof.  The published star
+    case maps an empty sub-automaton to itself, which would lose the
+    vacuously-true empty iteration; we build the λ-automaton there instead
+    (noted in DESIGN.md). *)
+
+val compile :
+  ?trim:bool ->
+  Strdb_util.Alphabet.t ->
+  vars:Window.var list ->
+  Sformula.t ->
+  Strdb_fsa.Fsa.t
+(** [compile sigma ~vars phi] compiles [phi] with tape [i] holding variable
+    [List.nth vars i].  [vars] must be duplicate-free and cover
+    [Sformula.vars phi] (extra variables become tapes that are tested
+    never).  The automaton begins with the initial-alignment test (all
+    heads on [⊢]) so that [L] matches truth in {e initial} alignments.
+    [trim] (default true) prunes useless states — property 3; pass [false]
+    for the size-ablation benches.
+    @raise Invalid_argument when [vars] misses a variable of [phi]. *)
+
+val compile_ordered : Strdb_util.Alphabet.t -> Sformula.t -> Strdb_fsa.Fsa.t
+(** [compile sigma ~vars:(Sformula.vars phi) phi]: tapes in ascending
+    variable order, the paper's convention for queries. *)

@@ -1,0 +1,157 @@
+module Symbol = Strdb_fsa.Symbol
+module Fsa = Strdb_fsa.Fsa
+module S = Sformula
+module W = Window
+
+(* The string-formula Kleene algebra used by the E_ijk recurrence. *)
+module K = Strdb_automata.Kleene.Make (struct
+  type t = S.t
+
+  let zero = S.zero
+  let one = S.Lambda
+  let is_zero = S.is_zero
+
+  let plus a b =
+    if is_zero a then b else if is_zero b then a else S.Union (a, b)
+
+  let times a b =
+    if is_zero a || is_zero b then zero
+    else if a = S.Lambda then b
+    else if b = S.Lambda then a
+    else S.Concat (a, b)
+
+  let star a = if is_zero a || a = S.Lambda then S.Lambda else S.Star a
+end)
+
+type index = L | C | R
+
+let index_compatible idx (sym : Symbol.t) =
+  match (idx, sym) with
+  | L, Symbol.Lend | R, Symbol.Rend | C, Symbol.Chr _ -> true
+  | _ -> false
+
+let next_indices idx move =
+  match move with
+  | 0 -> [ idx ]
+  | 1 -> [ C; R ]
+  | -1 -> [ L; C ]
+  | _ -> assert false
+
+(* Step 1 of the proof: make acceptance happen in a unique final state with
+   no outgoing transitions, by adding an explicit stationary transition for
+   every (final state, symbol vector) pair on which the automaton halts. *)
+let halting_normalise (a : Fsa.t) =
+  let k = a.arity in
+  let new_final = a.num_states in
+  let syms = Symbol.all a.sigma in
+  let rec vectors i =
+    if i = 0 then [ [] ]
+    else List.concat_map (fun s -> List.map (fun v -> s :: v) (vectors (i - 1))) syms
+  in
+  let extra = ref [] in
+  List.iter
+    (fun f ->
+      let out = Fsa.outgoing a f in
+      List.iter
+        (fun vec ->
+          let vec = Array.of_list vec in
+          let blocked =
+            not
+              (List.exists
+                 (fun (tr : Fsa.transition) -> Array.for_all2 Symbol.equal tr.read vec)
+                 out)
+          in
+          if blocked then
+            extra :=
+              { Fsa.src = f; read = vec; dst = new_final; moves = Array.make k 0 }
+              :: !extra)
+        (vectors k))
+    (Fsa.finals_list a);
+  Fsa.make ~sigma:a.sigma ~arity:k ~num_states:(a.num_states + 1) ~start:a.start
+    ~finals:[ new_final ]
+    ~transitions:(Array.to_list a.transitions @ !extra)
+
+let decompile (a : Fsa.t) ~vars =
+  if List.length vars <> a.arity then
+    invalid_arg "Decompile: variable list must name every tape";
+  if List.length (List.sort_uniq compare vars) <> a.arity then
+    invalid_arg "Decompile: duplicate variable names";
+  let vars = Array.of_list vars in
+  let a = halting_normalise (Fsa.trim a) in
+  match Fsa.finals_list a with
+  | [] -> S.zero
+  | f :: _ ->
+      (* Step 2: endmarker indexing, explored lazily from the start. *)
+      let k = a.arity in
+      let ids = Hashtbl.create 64 in
+      let next = ref 0 in
+      let worklist = Queue.create () in
+      let intern key =
+        match Hashtbl.find_opt ids key with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.replace ids key id;
+            Queue.add key worklist;
+            id
+      in
+      let start_id = intern (a.start, Array.to_list (Array.make k L)) in
+      let final_ids = ref [] in
+      let edges = ref [] in
+      while not (Queue.is_empty worklist) do
+        let ((p, idx) as key) = Queue.pop worklist in
+        let id = Hashtbl.find ids key in
+        if p = f then final_ids := id :: !final_ids;
+        let idx = Array.of_list idx in
+        List.iter
+          (fun (tr : Fsa.transition) ->
+            let ok = ref true in
+            Array.iteri
+              (fun i c -> if not (index_compatible idx.(i) c) then ok := false)
+              tr.read;
+            if !ok then begin
+              (* Branch over the possible landing indices of every tape. *)
+              let rec expand i acc =
+                if i = k then begin
+                  let dst = intern (tr.dst, List.rev acc) in
+                  edges := (id, dst, tr) :: !edges
+                end
+                else
+                  List.iter
+                    (fun e -> expand (i + 1) (e :: acc))
+                    (next_indices idx.(i) tr.moves.(i))
+              in
+              expand 0 []
+            end)
+          (Fsa.outgoing a p)
+      done;
+      (* Step 3: one string formula per refined transition. *)
+      let formula_of_transition (tr : Fsa.transition) =
+        let tests =
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 match c with
+                 | Symbol.Chr ch -> W.Is_char (vars.(i), ch)
+                 | Symbol.Lend | Symbol.Rend -> W.Is_empty vars.(i))
+               tr.read)
+        in
+        let test = List.fold_left (fun acc w -> W.And (acc, w)) W.True tests in
+        let lefts = ref [] and rights = ref [] in
+        Array.iteri
+          (fun i d ->
+            if d = 1 then lefts := vars.(i) :: !lefts
+            else if d = -1 then rights := vars.(i) :: !rights)
+          tr.moves;
+        let parts =
+          [ S.test test ]
+          @ (if !lefts = [] then [] else [ S.left !lefts W.True ])
+          @ if !rights = [] then [] else [ S.right !rights W.True ]
+        in
+        S.seq parts
+      in
+      let kedges = List.map (fun (p, q, tr) -> (p, q, formula_of_transition tr)) !edges in
+      K.path_expression ~num_states:!next ~start:start_id ~finals:!final_ids
+        ~edges:kedges
+      |> S.simplify

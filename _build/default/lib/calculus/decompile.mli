@@ -1,0 +1,23 @@
+(** The FSA-to-string-formula translation of Theorem 3.2.
+
+    For a k-FSA [A] and tape names [x₁,…,x_k], produce a string formula
+    [φ_A] with [⟨φ_A⟩ = L(A)], where variable [xᵢ] is bidirectional exactly
+    when tape [i] is.  The construction follows the theorem's proof:
+
+    + {e halting normalisation}: acceptance in a k-FSA means halting in a
+      final state, so for every final state and every symbol vector on which
+      it has no applicable transition we add an explicit stationary
+      transition into a fresh, unique final state;
+    + {e endmarker indexing}: states are refined with a per-tape index in
+      [{⊢, interior, ⊣}] so the formula's [x=ε] tests (which cannot tell
+      the two string ends apart) never conflate them;
+    + each transition [t] becomes the formula
+      [\[\]ₗ(⋀ xᵢ = c'ᵢ) · τₗ⊤ · τᵣ⊤], its exact operational meaning;
+    + the path expressions [E_ijk] (shared generic implementation in
+      {!Strdb_automata.Kleene}) assemble [φ_A], with the unsatisfiable atom
+      [\[\]ₗ⊥] as the zero of the algebra. *)
+
+val decompile : Strdb_fsa.Fsa.t -> vars:Window.var list -> Sformula.t
+(** [decompile a ~vars] is [φ_a] with tape [i] named [List.nth vars i].
+    @raise Invalid_argument if [vars] has the wrong length or
+    duplicates. *)

@@ -1,0 +1,93 @@
+(* A tiny Thompson automaton whose letters are atomic string formulae. *)
+type nfa = {
+  num_states : int;
+  start : int;
+  final : int;
+  eps : (int * int) list;
+  steps : (int * Sformula.atomic * int) list;
+}
+
+let nfa_of_formula phi =
+  let counter = ref 0 in
+  let fresh () =
+    let s = !counter in
+    incr counter;
+    s
+  in
+  let eps = ref [] and steps = ref [] in
+  let rec build = function
+    | Sformula.Atomic a ->
+        let s = fresh () and f = fresh () in
+        steps := (s, a, f) :: !steps;
+        (s, f)
+    | Sformula.Lambda ->
+        let s = fresh () and f = fresh () in
+        eps := (s, f) :: !eps;
+        (s, f)
+    | Sformula.Concat (a, b) ->
+        let sa, fa = build a in
+        let sb, fb = build b in
+        eps := (fa, sb) :: !eps;
+        (sa, fb)
+    | Sformula.Union (a, b) ->
+        let sa, fa = build a in
+        let sb, fb = build b in
+        let s = fresh () and f = fresh () in
+        eps := (s, sa) :: (s, sb) :: (fa, f) :: (fb, f) :: !eps;
+        (s, f)
+    | Sformula.Star a ->
+        let sa, fa = build a in
+        let s = fresh () and f = fresh () in
+        eps := (s, sa) :: (s, f) :: (fa, sa) :: (fa, f) :: !eps;
+        (s, f)
+  in
+  let start, final = build phi in
+  { num_states = !counter; start; final; eps = !eps; steps = !steps }
+
+(* Keys for visited alignments: variable offsets suffice because string
+   contents never change. *)
+let align_key a = List.map (fun x -> (Alignment.row a x).offset) (Alignment.vars a)
+
+let satisfies a0 phi =
+  (* Check bindings exist up front so failures surface as Not_found. *)
+  List.iter (fun x -> ignore (Alignment.row a0 x)) (Sformula.vars phi);
+  let nfa = nfa_of_formula phi in
+  let eps_of = Hashtbl.create 16 and steps_of = Hashtbl.create 16 in
+  List.iter (fun (p, q) -> Hashtbl.add eps_of p q) nfa.eps;
+  List.iter (fun (p, at, q) -> Hashtbl.add steps_of p (at, q)) nfa.steps;
+  let seen = Hashtbl.create 256 in
+  let stack = ref [ (nfa.start, a0) ] in
+  let found = ref false in
+  while (not !found) && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (s, a) :: rest ->
+        stack := rest;
+        let key = (s, align_key a) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          if s = nfa.final then found := true
+          else begin
+            List.iter (fun q -> stack := (q, a) :: !stack) (Hashtbl.find_all eps_of s);
+            List.iter
+              (fun (at, q) ->
+                (* Definition 8: first transpose, then test the window. *)
+                let a' = Alignment.transpose a at.Sformula.shift in
+                if Alignment.satisfies_window a' at.Sformula.test then
+                  stack := (q, a') :: !stack)
+              (Hashtbl.find_all steps_of s)
+          end
+        end
+    done;
+  !found
+
+let holds phi bindings = satisfies (Alignment.initial bindings) phi
+
+let tuples sigma ~vars ~max_len phi =
+  let candidates = Strdb_util.Strutil.all_strings_upto sigma max_len in
+  let rec go acc bound = function
+    | [] -> if holds phi (List.rev bound) then List.rev_map snd bound :: acc else acc
+    | v :: rest ->
+        List.fold_left (fun acc w -> go acc ((v, w) :: bound) rest) acc candidates
+  in
+  go [] [] vars |> List.sort compare

@@ -1,0 +1,30 @@
+(** Reference model checker for string formulae.
+
+    Decides [A ⊨ φ θ] (truth definitions 6–9) directly on alignments, with
+    no FSA machinery: the string formula is viewed as a regular expression
+    over atomic string formulae, and the checker searches the product of its
+    positions with the (finitely many) reachable alignments.  Deliberately
+    independent of the Theorem 3.1 compiler so the two can referee each
+    other in property tests. *)
+
+val satisfies : Alignment.t -> Sformula.t -> bool
+(** [satisfies a phi] is [A ⊨ φ]: some formula word of [L(φ)] holds in
+    [a].  All variables of [phi] must be bound in [a].
+    @raise Not_found otherwise. *)
+
+val holds : Sformula.t -> (Window.var * string) list -> bool
+(** [holds phi bindings] checks [phi] in the {e initial} alignment holding
+    [bindings] — the satisfaction notion underlying query answers
+    (Eq. 1). *)
+
+val tuples :
+  Strdb_util.Alphabet.t ->
+  vars:Window.var list ->
+  max_len:int ->
+  Sformula.t ->
+  string list list
+(** [tuples sigma ~vars ~max_len phi] is the brute-force restriction of
+    [⟨φ⟩] to strings of length at most [max_len]: every tuple over
+    [vars] (in order) whose initial alignment satisfies [phi]; sorted.
+    Exponential in [max_len]; the test-suite referee for
+    [L(A_φ) = ⟨φ⟩]. *)

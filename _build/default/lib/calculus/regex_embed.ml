@@ -1,0 +1,13 @@
+type t = Strdb_automata.Regex.t
+
+let rec embed x (r : t) =
+  match r with
+  | Empty -> Sformula.zero
+  | Eps -> Sformula.Lambda
+  | Chr c -> Sformula.left [ x ] (Window.Is_char (x, c))
+  | Seq (a, b) -> Sformula.Concat (embed x a, embed x b)
+  | Alt (a, b) -> Sformula.Union (embed x a, embed x b)
+  | Star a -> Sformula.Star (embed x a)
+
+let matches x r =
+  Sformula.seq [ embed x r; Sformula.left [ x ] (Window.Is_empty x) ]

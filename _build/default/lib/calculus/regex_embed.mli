@@ -1,0 +1,19 @@
+(** Embedding classical regular expressions into string formulae
+    (the easy direction of Theorem 6.1).
+
+    Every regular expression [A] over [Σ] becomes a unidirectional
+    one-variable string formula [φ_A · \[x\]ₗ x=ε] that holds in an initial
+    alignment exactly when the row's string belongs to [L(A)]: each
+    character [c] is replaced by the atomic formula [\[x\]ₗ x=c]. *)
+
+type t = Strdb_automata.Regex.t
+(** Classical regexes from the automata substrate. *)
+
+val embed : Window.var -> t -> Sformula.t
+(** [embed x r] is [φ_r]: consumes a prefix of row [x] matching [r]
+    character by character ([∅] becomes the unsatisfiable atom, [ε] the
+    empty formula word). *)
+
+val matches : Window.var -> t -> Sformula.t
+(** [matches x r] is [φ_r · \[x\]ₗ x=ε]: row [x]'s whole string matches
+    [r].  This is Example 6's [(gc+a)*] pattern in its general form. *)

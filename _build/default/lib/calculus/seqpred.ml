@@ -1,0 +1,59 @@
+type pattern =
+  | Channel of int
+  | Pseq of pattern * pattern
+  | Palt of pattern * pattern
+  | Pstar of pattern
+
+module S = Sformula
+module W = Window
+
+let copy_item ~terminator channel output =
+  (* Copy characters until (and including) the terminator. *)
+  S.seq
+    [
+      S.star
+        (S.left [ channel; output ]
+           W.(Eq (channel, output) && not_ (Is_char (channel, terminator))));
+      S.left [ channel; output ]
+        W.(Eq (channel, output) && Is_char (channel, terminator));
+    ]
+
+let formula ~terminator ~channels ~output p =
+  let n = List.length channels in
+  let channel i =
+    if i < 1 || i > n then
+      invalid_arg "Seqpred.formula: channel index out of range"
+    else List.nth channels (i - 1)
+  in
+  let rec go = function
+    | Channel i -> copy_item ~terminator (channel i) output
+    | Pseq (a, b) -> S.Concat (go a, go b)
+    | Palt (a, b) -> S.Union (go a, go b)
+    | Pstar a -> S.Star (go a)
+  in
+  S.seq [ go p; S.left (channels @ [ output ]) (W.all_empty (channels @ [ output ])) ]
+
+let encode_sequence ~terminator items =
+  String.concat "" (List.map (fun it -> it ^ String.make 1 terminator) items)
+
+let reference p channels out =
+  (* Search over ways the pattern consumes one item at a time. *)
+  let rec go p (chs : string list list) (out : string list) k =
+    (* continuation-passing: k is applied to the remaining channels/output. *)
+    match p with
+    | Channel i -> (
+        match (List.nth chs (i - 1), out) with
+        | it :: rest_ch, o :: rest_out when it = o ->
+            let chs' = List.mapi (fun j c -> if j = i - 1 then rest_ch else c) chs in
+            k chs' rest_out
+        | _ -> false)
+    | Pseq (a, b) -> go a chs out (fun chs' out' -> go b chs' out' k)
+    | Palt (a, b) -> go a chs out k || go b chs out k
+    | Pstar a ->
+        k chs out
+        || go a chs out (fun chs' out' ->
+               (* Insist on progress to avoid infinite ε-loops. *)
+               if List.length out' < List.length out then go (Pstar a) chs' out' k
+               else false)
+  in
+  go p channels out (fun chs out -> List.for_all (fun c -> c = []) chs && out = [])

@@ -1,0 +1,34 @@
+(** Ginsburg–Wang sequence predicates (Theorem 6.4).
+
+    A sequence predicate [x_{n+1} ∈ A_n(x₁,…,x_n)] declares the output
+    sequence to be a "regular shuffle" of the input sequences following the
+    pattern regex [A] over channel symbols [α₁,…,α_n]: reading [αᵢ] copies
+    the next item of channel [i] to the output.  Over the infinite atom
+    universe [U] the items are atoms; the paper compares the formalisms via
+    a translation injection [e : U → Σ*] extended to sequences with a
+    terminator [>].  We realise exactly that: items are [Σ*]-strings and a
+    designated terminator character separates them. *)
+
+type pattern =
+  | Channel of int  (** [αᵢ]: copy one item from channel [i] (1-based). *)
+  | Pseq of pattern * pattern
+  | Palt of pattern * pattern
+  | Pstar of pattern
+
+val formula :
+  terminator:char -> channels:Window.var list -> output:Window.var -> pattern -> Sformula.t
+(** [formula ~terminator ~channels ~output p] is the unidirectional string
+    formula [φ_P] of Theorem 6.4: true in an initial alignment iff the
+    output row is a regular shuffle of the channel rows following [p], with
+    every copied item [>]-terminated.  Channel indices in [p] are 1-based
+    positions in [channels].
+    @raise Invalid_argument on out-of-range channel indices. *)
+
+val encode_sequence : terminator:char -> string list -> string
+(** The paper's [e]: [encode_sequence ~terminator:'>' \["ab"; "c"\]] is
+    ["ab>c>"]. *)
+
+val reference : pattern -> string list list -> string list -> bool
+(** Independent checker on the sequence level: does the output sequence
+    (last argument) arise from the channel sequences by the pattern?
+    Used to referee {!formula} in tests. *)

@@ -1,0 +1,135 @@
+type var = Window.var
+type dir = Left | Right
+type transpose = { tvars : var list; dir : dir }
+type atomic = { shift : transpose; test : Window.t }
+
+type t =
+  | Atomic of atomic
+  | Lambda
+  | Concat of t * t
+  | Union of t * t
+  | Star of t
+
+let left xs phi =
+  Atomic { shift = { tvars = List.sort_uniq compare xs; dir = Left }; test = phi }
+
+let right xs phi =
+  Atomic { shift = { tvars = List.sort_uniq compare xs; dir = Right }; test = phi }
+
+let test phi = left [] phi
+let zero = test Window.False
+let is_zero = function
+  | Atomic { shift = { tvars = []; dir = Left }; test = Window.False } -> true
+  | _ -> false
+
+let seq = function
+  | [] -> Lambda
+  | f :: fs -> List.fold_left (fun a b -> Concat (a, b)) f fs
+
+let alt = function
+  | [] -> invalid_arg "Sformula.alt: empty union"
+  | f :: fs -> List.fold_left (fun a b -> Union (a, b)) f fs
+
+let star f = Star f
+let plus f = Concat (f, Star f)
+
+let power f n =
+  if n < 0 then invalid_arg "Sformula.power: negative exponent";
+  seq (List.init n (fun _ -> f))
+
+let rec collect_vars = function
+  | Atomic { shift; test } -> shift.tvars @ Window.vars test
+  | Lambda -> []
+  | Concat (a, b) | Union (a, b) -> collect_vars a @ collect_vars b
+  | Star a -> collect_vars a
+
+let vars t = List.sort_uniq compare (collect_vars t)
+
+let rec collect_bidi = function
+  | Atomic { shift = { tvars; dir = Right }; _ } -> tvars
+  | Atomic _ | Lambda -> []
+  | Concat (a, b) | Union (a, b) -> collect_bidi a @ collect_bidi b
+  | Star a -> collect_bidi a
+
+let bidirectional_vars t = List.sort_uniq compare (collect_bidi t)
+let is_right_restricted t = List.length (bidirectional_vars t) <= 1
+let is_unidirectional t = bidirectional_vars t = []
+
+let rec size = function
+  | Atomic _ | Lambda -> 1
+  | Concat (a, b) | Union (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+let rec map_window f = function
+  | Window.True -> Window.True
+  | Window.False -> Window.False
+  | Window.Is_empty x -> Window.Is_empty (f x)
+  | Window.Is_char (x, a) -> Window.Is_char (f x, a)
+  | Window.Eq (x, y) -> Window.Eq (f x, f y)
+  | Window.Not a -> Window.Not (map_window f a)
+  | Window.And (a, b) -> Window.And (map_window f a, map_window f b)
+  | Window.Or (a, b) -> Window.Or (map_window f a, map_window f b)
+
+let rec map_vars f = function
+  | Atomic { shift; test } ->
+      Atomic
+        {
+          shift = { shift with tvars = List.sort_uniq compare (List.map f shift.tvars) };
+          test = map_window f test;
+        }
+  | Lambda -> Lambda
+  | Concat (a, b) -> Concat (map_vars f a, map_vars f b)
+  | Union (a, b) -> Union (map_vars f a, map_vars f b)
+  | Star a -> Star (map_vars f a)
+
+let rec simplify f =
+  match f with
+  | Atomic _ | Lambda -> f
+  | Concat (a, b) -> (
+      match (simplify a, simplify b) with
+      | z, _ when is_zero z -> z
+      | _, z when is_zero z -> z
+      | Lambda, b -> b
+      | a, Lambda -> a
+      | a, b -> Concat (a, b))
+  | Union (a, b) -> (
+      match (simplify a, simplify b) with
+      | z, b when is_zero z -> b
+      | a, z when is_zero z -> a
+      | a, b when a = b -> a
+      (* fold λ into an adjacent star: λ + φ* = φ* *)
+      | Lambda, (Star _ as s) | (Star _ as s), Lambda -> s
+      | a, b -> Union (a, b))
+  | Star a -> (
+      match simplify a with
+      | z when is_zero z -> Lambda
+      | Lambda -> Lambda
+      | Star _ as s -> s
+      | Union (Lambda, b) -> Star b
+      | Union (a, Lambda) -> Star a
+      | a -> Star a)
+
+let pp_transpose ppf { tvars; dir } =
+  Format.fprintf ppf "[%s]%s"
+    (String.concat "," tvars)
+    (match dir with Left -> "l" | Right -> "r")
+
+(* Precedence: Union < Concat < Star. *)
+let pp ppf t =
+  let rec go prec ppf t =
+    let paren level body =
+      if prec > level then Format.fprintf ppf "(%t)" body else body ppf
+    in
+    match t with
+    | Atomic { shift; test } ->
+        Format.fprintf ppf "%a{%a}" pp_transpose shift Window.pp test
+    | Lambda -> Format.pp_print_string ppf "λ"
+    | Union (a, b) ->
+        paren 0 (fun ppf -> Format.fprintf ppf "%a + %a" (go 0) a (go 0) b)
+    | Concat (a, b) ->
+        paren 1 (fun ppf -> Format.fprintf ppf "%a.%a" (go 1) a (go 1) b)
+    | Star a -> Format.fprintf ppf "%a*" (go 2) a
+  in
+  go 0 ppf t
+
+let to_string t = Strdb_util.Pretty.to_string pp t

@@ -1,0 +1,95 @@
+(** String formulae (Section 2): regular expressions over atomic string
+    formulae.
+
+    An atomic string formula [τφ] pairs a {e transpose} [τ] — a left or
+    right shift of a set of rows, written [\[x,y\]ₗ] / [\[x,y\]ᵣ] — with a
+    window formula [φ] tested after the shift.  String formulae compose
+    atomics with concatenation, union ([+]) and Kleene star, exactly like
+    regular expressions; a formula denotes the set of {e formula words}
+    [L(φ)], and holds in an alignment when some word in [L(φ)] does
+    (truth definitions 6–9). *)
+
+type var = Window.var
+
+type dir = Left | Right
+(** Transpose direction: [Left] shifts the named rows one position left
+    (the window moves forward over them); [Right] is the reverse. *)
+
+type transpose = { tvars : var list; dir : dir }
+(** [\[x₁,…,x_k\]ₗ] or [\[…\]ᵣ]; the empty transpose [\[\]ₗ] is the
+    identity. *)
+
+type atomic = { shift : transpose; test : Window.t }
+(** An atomic string formula [τφ]. *)
+
+type t =
+  | Atomic of atomic
+  | Lambda  (** the empty formula word λ, vacuously true. *)
+  | Concat of t * t
+  | Union of t * t
+  | Star of t
+
+val left : var list -> Window.t -> t
+(** [left xs phi] is [\[xs\]ₗ phi]. *)
+
+val right : var list -> Window.t -> t
+(** [right xs phi] is [\[xs\]ᵣ phi]. *)
+
+val test : Window.t -> t
+(** [test phi] is [\[\]ₗ phi]: check the window without moving anything. *)
+
+val zero : t
+(** The unsatisfiable atomic [\[\]ₗ ⊥], the paper's "[\[\]ₗ ¬⊤]" used to
+    denote the absence of a path in Theorem 3.2. *)
+
+val is_zero : t -> bool
+(** Recognises {!zero} syntactically. *)
+
+val seq : t list -> t
+(** Concatenation of a list; [Lambda] when empty. *)
+
+val alt : t list -> t
+(** Union of a list.  @raise Invalid_argument on the empty list (string
+    formulae have no empty-language constant other than {!zero}). *)
+
+val star : t -> t
+(** Kleene closure. *)
+
+val plus : t -> t
+(** [φ⁺ = φ.φ*]. *)
+
+val power : t -> int -> t
+(** [φⁿ]: [n]-fold concatenation, [Lambda] for [n = 0]. *)
+
+val vars : t -> var list
+(** All variables, sorted, duplicate-free — the tapes of the corresponding
+    FSA. *)
+
+val bidirectional_vars : t -> var list
+(** Variables appearing in a right transpose (Section 2); sorted. *)
+
+val is_right_restricted : t -> bool
+(** At most one bidirectional variable — the class for which safety is
+    decidable (Theorem 5.2) and which characterises the polynomial
+    hierarchy (Theorem 6.5). *)
+
+val is_unidirectional : t -> bool
+(** No right transposes at all. *)
+
+val size : t -> int
+(** AST size (atomics and connectives). *)
+
+val map_vars : (var -> var) -> t -> t
+(** Rename variables (used by the algebra translation to align columns). *)
+
+val simplify : t -> t
+(** Algebraic simplification preserving [L(φ)] as a set of formula words
+    (hence the semantics): unit laws for [λ], annihilation and identity for
+    the unsatisfiable atom [\[\]ₗ⊥], idempotent unions, [φ** = φ*],
+    [(λ+φ)* = φ*].  Used to tame Theorem 3.2's [E_ijk] output. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style concrete syntax, e.g. [(\[x,y\]l{x=y})*.\[x,y\]l{x=y=ε}]. *)
+
+val to_string : t -> string
+(** [pp] rendered to a string. *)

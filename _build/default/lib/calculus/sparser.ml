@@ -1,0 +1,325 @@
+exception Parse_error of string
+
+type token =
+  | LBRACK | RBRACK | LBRACE | RBRACE | LPAREN | RPAREN
+  | COMMA | DOT | PLUS | STAR | CARET | PERCENT | BANG | AMP | PIPE
+  | EQ | TILDE
+  | IDENT of string
+  | CHAR of char
+  | INT of int
+  | EPSILON  (** [#] or [ε] in window tests. *)
+  | TRUE | FALSE
+  | KEXISTS | KFORALL | KSTR
+  | EOF
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* The printer emits a few UTF-8 symbols; accept them as alternates of the
+   ASCII spellings. *)
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let starts_with s =
+    let l = String.length s in
+    !i + l <= n && String.sub input !i l = s
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if starts_with "ε" then (push EPSILON; i := !i + 2)
+    else if starts_with "λ" then (push PERCENT; i := !i + 2)
+    else if starts_with "⊤" then (push TRUE; i := !i + 3)
+    else if starts_with "⊥" then (push FALSE; i := !i + 3)
+    else begin
+      (match c with
+      | '[' -> push LBRACK
+      | ']' -> push RBRACK
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | ',' -> push COMMA
+      | '.' -> push DOT
+      | '+' -> push PLUS
+      | '*' -> push STAR
+      | '^' -> push CARET
+      | '%' -> push PERCENT
+      | '!' -> push BANG
+      | '&' -> push AMP
+      | '|' -> push PIPE
+      | '=' -> push EQ
+      | '~' -> push TILDE
+      | '#' -> push EPSILON
+      | '\'' ->
+          if !i + 2 < n && input.[!i + 2] = '\'' then begin
+            push (CHAR input.[!i + 1]);
+            i := !i + 2
+          end
+          else fail "unterminated character literal at offset %d" !i
+      | 'T' -> push TRUE
+      | 'F' -> push FALSE
+      | 'E' -> push KEXISTS
+      | 'A' -> push KFORALL
+      | 'S' -> push KSTR
+      | '0' .. '9' ->
+          let j = ref !i in
+          while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do incr j done;
+          push (INT (int_of_string (String.sub input !i (!j - !i))));
+          i := !j - 1
+      | 'a' .. 'z' | '_' ->
+          let ok ch =
+            (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') || ch = '_'
+          in
+          let j = ref !i in
+          while !j < n && ok input.[!j] do incr j done;
+          push (IDENT (String.sub input !i (!j - !i)));
+          i := !j - 1
+      | _ -> fail "unexpected character %C at offset %d" c !i);
+      incr i
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+(* A tiny token-stream state. *)
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s t what =
+  if peek s = t then advance s else fail "expected %s" what
+
+let ident s =
+  match peek s with
+  | IDENT v ->
+      advance s;
+      v
+  | _ -> fail "expected an identifier"
+
+(* --- window formulae ------------------------------------------------------ *)
+
+let rec window s =
+  let left = wconj s in
+  if peek s = PIPE then begin
+    advance s;
+    Window.Or (left, window s)
+  end
+  else left
+
+and wconj s =
+  let left = wlit s in
+  if peek s = AMP then begin
+    advance s;
+    Window.And (left, wconj s)
+  end
+  else left
+
+and wlit s =
+  match peek s with
+  | BANG ->
+      advance s;
+      Window.Not (wlit s)
+  | LPAREN ->
+      advance s;
+      let w = window s in
+      expect s RPAREN ")";
+      w
+  | TRUE ->
+      advance s;
+      Window.True
+  | FALSE ->
+      advance s;
+      Window.False
+  | IDENT x -> (
+      advance s;
+      expect s EQ "'='";
+      match peek s with
+      | IDENT y ->
+          advance s;
+          Window.Eq (x, y)
+      | CHAR c ->
+          advance s;
+          Window.Is_char (x, c)
+      | EPSILON ->
+          advance s;
+          Window.Is_empty x
+      | _ -> fail "expected a variable, 'c' or # after '='")
+  | _ -> fail "expected a window literal"
+
+(* --- string formulae ------------------------------------------------------ *)
+
+let transpose s =
+  expect s LBRACK "'['";
+  let rec vars acc =
+    match peek s with
+    | RBRACK -> List.rev acc
+    | IDENT v ->
+        advance s;
+        if peek s = COMMA then begin
+          advance s;
+          vars (v :: acc)
+        end
+        else List.rev (v :: acc)
+    | _ -> fail "expected a variable in a transpose"
+  in
+  let vs = vars [] in
+  expect s RBRACK "']'";
+  match ident s with
+  | "l" -> (vs, Sformula.Left)
+  | "r" -> (vs, Sformula.Right)
+  | d -> fail "expected transpose direction l or r, got %s" d
+
+let rec sform s =
+  let left = sterm s in
+  if peek s = PLUS then begin
+    advance s;
+    Sformula.Union (left, sform s)
+  end
+  else left
+
+and sterm s =
+  let first = sfactor s in
+  let rec go acc =
+    match peek s with
+    | DOT ->
+        advance s;
+        go (Sformula.Concat (acc, sfactor s))
+    | LBRACK | PERCENT | LPAREN -> go (Sformula.Concat (acc, sfactor s))
+    | _ -> acc
+  in
+  go first
+
+and sfactor s =
+  let base = satom s in
+  let rec post acc =
+    match peek s with
+    | STAR ->
+        advance s;
+        post (Sformula.Star acc)
+    | CARET -> (
+        advance s;
+        match peek s with
+        | INT k ->
+            advance s;
+            post (Sformula.power acc k)
+        | _ -> fail "expected an integer after '^'")
+    | _ -> acc
+  in
+  post base
+
+and satom s =
+  match peek s with
+  | PERCENT ->
+      advance s;
+      Sformula.Lambda
+  | LPAREN ->
+      advance s;
+      let f = sform s in
+      expect s RPAREN ")";
+      f
+  | LBRACK ->
+      let vs, dir = transpose s in
+      expect s LBRACE "'{'";
+      let w = window s in
+      expect s RBRACE "'}'";
+      Sformula.Atomic { shift = { tvars = List.sort_uniq compare vs; dir }; test = w }
+  | _ -> fail "expected a string-formula atom"
+
+let sformula input =
+  let s = { toks = tokenize input } in
+  let f = sform s in
+  if peek s <> EOF then fail "trailing input after the string formula";
+  f
+
+(* --- full formulae --------------------------------------------------------- *)
+
+let rec form s =
+  match peek s with
+  | TILDE ->
+      advance s;
+      Formula.Not (conjunct_or_paren s)
+      |> fun neg -> continue_conj s neg
+  | KEXISTS ->
+      advance s;
+      quant s (fun x body -> Formula.Exists (x, body))
+  | KFORALL ->
+      advance s;
+      quant s Formula.forall
+  | _ ->
+      let c = conjunct_or_paren s in
+      continue_conj s c
+
+and quant s wrap =
+  let rec vars acc =
+    match peek s with
+    | IDENT v ->
+        advance s;
+        vars (v :: acc)
+    | DOT ->
+        advance s;
+        List.rev acc
+    | _ -> fail "expected variables then '.' after a quantifier"
+  in
+  let vs = vars [] in
+  if vs = [] then fail "a quantifier needs at least one variable";
+  let body = form s in
+  List.fold_right wrap vs body
+
+and continue_conj s left =
+  if peek s = AMP then begin
+    advance s;
+    Formula.And (left, form s)
+  end
+  else left
+
+and conjunct_or_paren s =
+  match peek s with
+  | LPAREN ->
+      advance s;
+      let f = form s in
+      expect s RPAREN ")";
+      f
+  | TILDE ->
+      advance s;
+      Formula.Not (conjunct_or_paren s)
+  | KSTR ->
+      advance s;
+      expect s LBRACE "'{'";
+      let f = sform s in
+      expect s RBRACE "'}'";
+      Formula.Str f
+  | IDENT r -> (
+      advance s;
+      expect s LPAREN "'('";
+      let rec args acc =
+        match peek s with
+        | IDENT v ->
+            advance s;
+            if peek s = COMMA then begin
+              advance s;
+              args (v :: acc)
+            end
+            else List.rev (v :: acc)
+        | _ -> fail "expected relation arguments"
+      in
+      let a = args [] in
+      match peek s with
+      | RPAREN ->
+          advance s;
+          Formula.Rel (r, a)
+      | _ -> fail "expected ')' after relation arguments")
+  | KEXISTS | KFORALL ->
+      (* allow a nested quantifier as a conjunct when parenthesised
+         explicitly; bare ones are handled by [form]. *)
+      form s
+  | _ -> fail "expected a conjunct"
+
+let formula input =
+  let s = { toks = tokenize input } in
+  let f = form s in
+  if peek s <> EOF then fail "trailing input after the formula";
+  f
+
+let sformula_roundtrip phi = sformula (Sformula.to_string phi)

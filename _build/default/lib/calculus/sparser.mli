@@ -1,0 +1,43 @@
+(** Concrete syntax for alignment calculus.
+
+    String formulae (the modal layer):
+    {v
+      sformula ::= term ('+' term)*                 union
+      term     ::= factor ('.'? factor)*            concatenation
+      factor   ::= atom ('*' | '^' INT)*            closure / power
+      atom     ::= '(' sformula ')'
+                 | '%'                              the empty word λ
+                 | transpose '{' window '}'         atomic string formula
+      transpose::= '[' [var (',' var)...] ']' ('l'|'r')
+      window   ::= conj ('|' conj)*                 disjunction
+      conj     ::= lit ('&' lit)*                   conjunction
+      lit      ::= '!' lit | '(' window ')' | 'T' | 'F' | atomw
+      atomw    ::= var '=' (var | CHAR | '#')       '#' is ε, CHAR is 'c'
+    v}
+
+    Full formulae (the relational layer):
+    {v
+      formula  ::= '~' formula
+                 | 'E' var+ '.' formula             existential block
+                 | 'A' var+ '.' formula             universal block
+                 | conjunct ('&' conjunct)*
+      conjunct ::= NAME '(' var (',' var)* ')'      relational atom
+                 | 'S' '{' sformula '}'             string-formula atom
+                 | '~' conjunct | '(' formula ')'
+    v}
+
+    Example: the paper's [x =ₛ y] reads
+    [S{([x,y]l{x=y})*.[x,y]l{x=y & x=#}}]. *)
+
+exception Parse_error of string
+(** Raised with a message and position on malformed input. *)
+
+val sformula : string -> Sformula.t
+(** Parse a string formula.  @raise Parse_error. *)
+
+val formula : string -> Formula.t
+(** Parse a full alignment-calculus formula.  @raise Parse_error. *)
+
+val sformula_roundtrip : Sformula.t -> Sformula.t
+(** [sformula (Sformula.to_string phi)] — the printer and parser agree; used
+    by tests. *)

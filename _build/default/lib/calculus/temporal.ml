@@ -1,0 +1,32 @@
+type var = Window.var
+
+module S = Sformula
+module W = Window
+
+let next xs phi =
+  match phi with
+  | S.Atomic { shift = { tvars = []; dir = S.Left }; test } -> S.left xs test
+  | _ -> invalid_arg "Temporal.next: expects a window test (use Sformula.test)"
+
+let window_of = function
+  | S.Atomic { shift = { tvars = []; dir = S.Left }; test } -> test
+  | _ -> invalid_arg "Temporal: expects a window test (use Sformula.test)"
+
+let until_w xs phi psi = S.seq [ S.star (S.left xs phi); S.left xs psi ]
+let until xs phi psi = until_w xs (window_of phi) (window_of psi)
+let eventually xs phi = until_w xs W.True phi
+
+let henceforth xs phi =
+  S.seq [ S.star (S.left xs phi); S.left xs (W.all_empty xs) ]
+
+let since xs phi psi = S.seq [ S.star (S.right xs phi); S.right xs psi ]
+let previously xs phi = since xs W.True phi
+
+let occurs_in x y =
+  (* eventually along y (x = y along x,y until x = ε). *)
+  S.seq
+    [
+      S.star (S.left [ y ] W.True);
+      S.star (S.left [ x; y ] (W.Eq (x, y)));
+      S.left [ x; y ] (W.Is_empty x);
+    ]

@@ -1,0 +1,36 @@
+(** Temporal-logic sugar over string formulae (Theorem 6.3).
+
+    A transpose can be read as moving into the future (left) or the past
+    (right) of the linear time structures — the rows — it names.  These are
+    the paper's derived modalities; each returns an ordinary string
+    formula. *)
+
+type var = Window.var
+
+val next : var list -> Sformula.t -> Sformula.t
+(** [next xs φ := \[xs\]ₗ φ]. *)
+
+val until : var list -> Sformula.t -> Sformula.t -> Sformula.t
+(** [φ along xs until ψ := (\[xs\]ₗφ)* · (\[xs\]ₗψ)].  Both arguments must
+    be window-testing formulae built with {!of_window}; see {!until_w} for
+    the common case. *)
+
+val until_w : var list -> Window.t -> Window.t -> Sformula.t
+(** [until_w xs φ ψ]: the modality on window formulae directly, as in the
+    paper's definition. *)
+
+val eventually : var list -> Window.t -> Sformula.t
+(** [eventually along xs φ := (\[xs\]ₗ⊤)* · (\[xs\]ₗφ)]. *)
+
+val henceforth : var list -> Window.t -> Sformula.t
+(** [henceforth along xs φ := (\[xs\]ₗφ)* · (\[xs\]ₗ x₁=…=x_k=ε)]. *)
+
+val since : var list -> Window.t -> Window.t -> Sformula.t
+(** Past-tense [until]: right transposes instead of left. *)
+
+val previously : var list -> Window.t -> Sformula.t
+(** Past-tense [eventually]. *)
+
+val occurs_in : var -> var -> Sformula.t
+(** The paper's showcase: "x occurs in y" phrased temporally as
+    [eventually along y (x=y along x,y until x=ε)]. *)

@@ -1,0 +1,97 @@
+type var = string
+
+type t =
+  | True
+  | False
+  | Is_empty of var
+  | Is_char of var * char
+  | Eq of var * var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ a = Not a
+let neq x y = Not (Eq (x, y))
+let is_not_empty x = Not (Is_empty x)
+
+let rec chain f = function
+  | [] | [ _ ] -> True
+  | x :: (y :: _ as rest) -> And (f x y, chain f rest)
+
+let all_eq vs = chain (fun x y -> Eq (x, y)) vs
+
+let all_empty = function
+  | [] -> True
+  | [ x ] -> Is_empty x
+  | x :: _ as vs -> And (all_eq vs, Is_empty x)
+
+let rec vars = function
+  | True | False -> []
+  | Is_empty x -> [ x ]
+  | Is_char (x, _) -> [ x ]
+  | Eq (x, y) -> [ x; y ]
+  | Not a -> vars a
+  | And (a, b) | Or (a, b) -> vars a @ vars b
+
+let vars t = List.sort_uniq compare (vars t)
+
+(* Undefined window positions (endmarkers on the FSA side) compare equal to
+   each other, matching the partial-function semantics of alignments. *)
+let sym_eq a b =
+  let open Strdb_fsa.Symbol in
+  match (a, b) with
+  | Chr c, Chr d -> Stdlib.( = ) c d
+  | (Lend | Rend), (Lend | Rend) -> true
+  | Chr _, (Lend | Rend) | (Lend | Rend), Chr _ -> false
+
+let rec eval under = function
+  | True -> true
+  | False -> false
+  | Is_empty x -> Strdb_fsa.Symbol.is_end (under x)
+  | Is_char (x, a) -> ( match under x with Chr c -> Stdlib.( = ) c a | _ -> false)
+  | Eq (x, y) -> sym_eq (under x) (under y)
+  | Not a -> Stdlib.not (eval under a)
+  | And (a, b) -> Stdlib.( && ) (eval under a) (eval under b)
+  | Or (a, b) -> Stdlib.( || ) (eval under a) (eval under b)
+
+let sat_vectors sigma vs phi =
+  List.iter
+    (fun v ->
+      if Stdlib.not (List.mem v vs) then
+        invalid_arg
+          (Printf.sprintf "Window.sat_vectors: variable %s not among the tapes" v))
+    (vars phi);
+  let syms = Strdb_fsa.Symbol.all sigma in
+  let n = List.length vs in
+  let vs = Array.of_list vs in
+  let acc = ref [] in
+  let rec go i vec =
+    if Stdlib.( = ) i n then begin
+      let under x =
+        let rec find j = if Stdlib.( = ) vs.(j) x then vec.(j) else find (j + 1) in
+        find 0
+      in
+      if eval under phi then acc := Array.copy vec :: !acc
+    end
+    else
+      List.iter
+        (fun s ->
+          vec.(i) <- s;
+          go (i + 1) vec)
+        syms
+  in
+  if Stdlib.( = ) n 0 then (if eval (fun _ -> assert false) phi then acc := [ [||] ])
+  else go 0 (Array.make n Strdb_fsa.Symbol.Lend);
+  List.rev !acc
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "⊤"
+  | False -> Format.pp_print_string ppf "⊥"
+  | Is_empty x -> Format.fprintf ppf "%s=ε" x
+  | Is_char (x, a) -> Format.fprintf ppf "%s='%c'" x a
+  | Eq (x, y) -> Format.fprintf ppf "%s=%s" x y
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b

@@ -1,0 +1,61 @@
+(** Window formulae (Section 2).
+
+    Propositions about the window column of an alignment: Boolean
+    combinations of the atomic tests [x = ε] (the row's window position is
+    undefined), [x = a] (it holds character [a]), and [x = y] (rows [x] and
+    [y] agree — two undefined positions agree).  Variables are symbolic
+    names; an assignment maps them to alignment rows, and on the FSA side
+    (Theorem 3.1) to tapes, where "undefined" reads as "an endmarker". *)
+
+type var = string
+(** A variable name. *)
+
+type t =
+  | True
+  | False
+  | Is_empty of var  (** [x = ε]. *)
+  | Is_char of var * char  (** [x = a]. *)
+  | Eq of var * var  (** [x = y]. *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val ( && ) : t -> t -> t
+(** Conjunction; identical to [And] but reads better in combinators. *)
+
+val ( || ) : t -> t -> t
+(** Disjunction. *)
+
+val not_ : t -> t
+(** Negation. *)
+
+val neq : var -> var -> t
+(** [x ≠ y]. *)
+
+val is_not_empty : var -> t
+(** [x ≠ ε]. *)
+
+val all_eq : var list -> t
+(** [x₁ = x₂ = … = xₘ], the paper's chained-equality shorthand; [True] for
+    fewer than two variables. *)
+
+val all_empty : var list -> t
+(** [x₁ = … = xₘ = ε]: every listed row's window position is undefined. *)
+
+val vars : t -> var list
+(** The variables occurring in the formula, sorted, duplicate-free. *)
+
+val eval : (var -> Strdb_fsa.Symbol.t) -> t -> bool
+(** [eval under phi] evaluates [phi] when [under x] is the symbol in row
+    [x]'s window position ([Lend]/[Rend] meaning undefined).  Two undefined
+    positions compare equal, matching the alignment semantics. *)
+
+val sat_vectors :
+  Strdb_util.Alphabet.t -> var list -> t -> Strdb_fsa.Symbol.t array list
+(** [sat_vectors sigma vs phi] enumerates every symbol vector over
+    [Σ ∪ {⊢,⊣}] for the variables [vs] (in order) satisfying [phi]; used by
+    the Theorem 3.1 compiler.  Variables of [phi] outside [vs] are
+    rejected with [Invalid_argument]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax: [x=ε], [x=a], [x=y], [!], [&], [|], [⊤], [⊥]. *)

@@ -1,0 +1,1 @@
+lib/encodings/grammar.ml: Buffer Hashtbl List Option Queue Strdb_calculus Strdb_util String

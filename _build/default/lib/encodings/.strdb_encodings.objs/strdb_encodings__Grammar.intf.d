@@ -1,0 +1,1 @@
+lib/encodings/grammar.mli: Strdb_calculus Strdb_util

@@ -1,0 +1,1 @@
+lib/encodings/lba.ml: Hashtbl List Queue Strdb_calculus Strdb_fsa Strdb_util String

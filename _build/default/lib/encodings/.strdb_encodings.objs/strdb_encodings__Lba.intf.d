@@ -1,0 +1,1 @@
+lib/encodings/lba.mli: Strdb_calculus

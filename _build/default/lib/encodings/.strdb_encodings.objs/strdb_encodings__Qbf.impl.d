@@ -1,0 +1,1 @@
+lib/encodings/qbf.ml: List Printf Strdb_baselines Strdb_calculus Strdb_fsa Strdb_util String

@@ -1,0 +1,1 @@
+lib/encodings/qbf.mli: Strdb_baselines Strdb_calculus Strdb_util

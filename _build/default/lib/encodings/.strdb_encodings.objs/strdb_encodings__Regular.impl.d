@@ -1,0 +1,1 @@
+lib/encodings/regular.ml: Array List Strdb_automata Strdb_calculus Strdb_fsa Strdb_util

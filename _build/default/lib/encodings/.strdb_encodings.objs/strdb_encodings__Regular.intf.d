@@ -1,0 +1,1 @@
+lib/encodings/regular.mli: Strdb_automata Strdb_calculus Strdb_fsa Strdb_util

@@ -1,0 +1,1 @@
+lib/encodings/turing.ml: Grammar Hashtbl List Queue String

@@ -1,0 +1,1 @@
+lib/encodings/turing.mli: Grammar

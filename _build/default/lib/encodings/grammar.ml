@@ -1,0 +1,151 @@
+module S = Strdb_calculus.Sformula
+module W = Strdb_calculus.Window
+module C = Strdb_calculus.Combinators
+
+type t = { start : char; rules : (string * string) list }
+
+exception Bad_grammar of string
+
+let symbols g =
+  let b = Buffer.create 16 in
+  Buffer.add_char b g.start;
+  List.iter
+    (fun (l, r) ->
+      Buffer.add_string b l;
+      Buffer.add_string b r)
+    g.rules;
+  Strdb_util.Strutil.explode (Buffer.contents b) |> List.sort_uniq compare
+
+let validate ?(separator = '>') g =
+  List.iter
+    (fun (l, _) -> if l = "" then raise (Bad_grammar "empty rule left-hand side"))
+    g.rules;
+  if List.mem separator (symbols g) then
+    raise (Bad_grammar "separator character occurs in the grammar")
+
+let alphabet ?(separator = '>') g =
+  validate ~separator g;
+  Strdb_util.Alphabet.make (symbols g @ [ separator ])
+
+let step g w =
+  let n = String.length w in
+  List.concat_map
+    (fun (l, r) ->
+      let ll = String.length l in
+      let rec sites i acc =
+        if i + ll > n then acc
+        else if String.sub w i ll = l then
+          sites (i + 1)
+            ((String.sub w 0 i ^ r ^ String.sub w (i + ll) (n - i - ll)) :: acc)
+        else sites (i + 1) acc
+      in
+      sites 0 [])
+    g.rules
+  |> List.sort_uniq compare
+
+let search g ~max_len ~max_steps target =
+  let start = String.make 1 g.start in
+  let parent = Hashtbl.create 256 in
+  Hashtbl.replace parent start None;
+  let queue = Queue.create () in
+  Queue.add start queue;
+  let steps = ref 0 in
+  let found = ref (target = start) in
+  while (not !found) && (not (Queue.is_empty queue)) && !steps < max_steps do
+    incr steps;
+    let w = Queue.pop queue in
+    List.iter
+      (fun w' ->
+        if String.length w' <= max_len && not (Hashtbl.mem parent w') then begin
+          Hashtbl.replace parent w' (Some w);
+          if w' = target then found := true;
+          Queue.add w' queue
+        end)
+      (step g w)
+  done;
+  if not !found then None
+  else begin
+    let rec back w acc =
+      match Hashtbl.find parent w with
+      | None -> w :: acc
+      | Some p -> back p (w :: acc)
+    in
+    (* back yields S … u; the encoding order is u … S. *)
+    Some (List.rev (back target []))
+  end
+
+let default_len target = (2 * String.length target) + 4
+
+let derivation_to g ?max_len ?max_steps target =
+  let max_len = Option.value max_len ~default:(default_len target) in
+  let max_steps = Option.value max_steps ~default:200_000 in
+  search g ~max_len ~max_steps target
+
+let derives g ?max_len ?max_steps target =
+  derivation_to g ?max_len ?max_steps target <> None
+
+let encode ?(separator = '>') segs = String.concat (String.make 1 separator) segs
+
+let formula_parts ?(separator = '>') g ~x1 ~x2 ~x3 =
+  validate ~separator g;
+  let sep = separator in
+  let eq2 = W.Eq (x2, x3) in
+  (* φ⁽¹⁾: x₂ = x₃ = x₁ > … > S, where x₁ is the first segment and S the
+     last (possibly directly: n = 2). *)
+  let phi1 =
+    S.seq
+      [
+        S.star (S.left [ x1; x2; x3 ] W.(Eq (x1, x2) && eq2 && not_ (Is_char (x1, sep))));
+        S.left [ x1; x2; x3 ] W.(Is_empty x1 && eq2 && Is_char (x2, sep));
+        S.alt
+          [
+            (* n = 2: the remainder is exactly S. *)
+            S.seq
+              [
+                S.left [ x2; x3 ] W.(eq2 && Is_char (x2, g.start));
+                S.left [ x2; x3 ] W.(eq2 && Is_empty x2);
+              ];
+            (* n > 2: anything, then >S at the very end. *)
+            S.seq
+              [
+                S.star (S.left [ x2; x3 ] eq2);
+                S.left [ x2; x3 ] W.(eq2 && Is_char (x2, sep));
+                S.left [ x2; x3 ] W.(eq2 && Is_char (x2, g.start));
+                S.left [ x2; x3 ] W.(eq2 && Is_empty x2);
+              ];
+          ];
+      ]
+  in
+  (* ψ_r: the window of x₂ reads the rule's left-hand side while x₃ reads
+     its right-hand side. *)
+  let psi (lhs, rhs) =
+    S.seq
+      (List.map (fun c -> S.left [ x2 ] (W.Is_char (x2, c))) (Strdb_util.Strutil.explode lhs)
+      @ List.map (fun c -> S.left [ x3 ] (W.Is_char (x3, c))) (Strdb_util.Strutil.explode rhs))
+  in
+  let in_segment = S.left [ x2; x3 ] W.(eq2 && not_ (Is_char (x2, sep))) in
+  let chi =
+    S.seq
+      [
+        S.star in_segment;
+        S.alt (List.map psi g.rules);
+        S.star in_segment;
+      ]
+  in
+  (* φ⁽²⁾: position x₂ one segment ahead of x₃ and check χ_G segment by
+     segment. *)
+  let phi2 =
+    S.seq
+      [
+        S.star (S.left [ x2 ] (W.not_ (W.Is_char (x2, sep))));
+        S.left [ x2 ] (W.Is_char (x2, sep));
+        S.star (S.seq [ chi; S.left [ x2; x3 ] W.(Is_char (x2, sep) && Is_char (x3, sep)) ]);
+        chi;
+        S.left [ x2; x3 ] W.(Is_empty x2 && Is_char (x3, sep));
+      ]
+  in
+  (phi1, phi2)
+
+let formula ?separator g ~x1 ~x2 ~x3 =
+  let phi1, phi2 = formula_parts ?separator g ~x1 ~x2 ~x3 in
+  S.seq [ phi1; C.suffix_rewind [ x2; x3 ]; phi2 ]

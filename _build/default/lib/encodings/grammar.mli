@@ -1,0 +1,69 @@
+(** Unrestricted (type-0) grammars and their alignment-calculus encoding
+    (Theorem 5.1 / Theorem 6.2).
+
+    A grammar's symbols are single characters; rules rewrite a nonempty
+    string to any string.  The encoding [φ_G(x₁,x₂,x₃)] holds exactly on
+    tuples [(u, v₁>…>vₙ, v₁>…>vₙ)] where [v₁ = u], [vₙ = S], [n > 1] and
+    each [vᵢ₊₁ ⇒_G vᵢ] — i.e. the second and third components spell a
+    reversed derivation of [u].  Hence [∃x₂x₃.φ_G] defines [L(G)]
+    (Theorem 6.2: the r.e. languages), and the question whether [x₁]
+    limits [x₂,x₃] is the undecidable heart of Theorem 5.1. *)
+
+type t = {
+  start : char;  (** the start symbol [S]. *)
+  rules : (string * string) list;  (** rewrite rules [α → β], [α ≠ ""]. *)
+}
+
+exception Bad_grammar of string
+(** Raised by {!validate} on an empty-lhs rule or a separator clash. *)
+
+val validate : ?separator:char -> t -> unit
+(** Check the rules are well-formed and no symbol equals the separator. *)
+
+val symbols : t -> char list
+(** Every character occurring in the start symbol or the rules; sorted. *)
+
+val alphabet : ?separator:char -> t -> Strdb_util.Alphabet.t
+(** The alphabet [Σ_G]: grammar symbols plus the separator. *)
+
+val step : t -> string -> string list
+(** All strings reachable from the argument by one rule application. *)
+
+val derives : t -> ?max_len:int -> ?max_steps:int -> string -> bool
+(** Bounded search: can the start symbol derive the given string while no
+    sentential form exceeds [max_len] (default: twice the target length
+    plus 4) within [max_steps] expansions explored (default 200000)?
+    Sound; complete only within the bounds (derivability is undecidable —
+    that is Theorem 5.1's point). *)
+
+val derivation_to : t -> ?max_len:int -> ?max_steps:int -> string -> string list option
+(** A witnessing derivation [S = vₙ ⇒ … ⇒ v₁ = u], returned in the
+    encoding order [\[v₁; …; vₙ\]], if found within the bounds. *)
+
+val encode : ?separator:char -> string list -> string
+(** [encode \[v₁;…;vₙ\]] is [v₁>…>vₙ], the middle component of the
+    Theorem 5.1 tuples. *)
+
+val formula :
+  ?separator:char ->
+  t ->
+  x1:Strdb_calculus.Window.var ->
+  x2:Strdb_calculus.Window.var ->
+  x3:Strdb_calculus.Window.var ->
+  Strdb_calculus.Sformula.t
+(** The string formula [φ_G] of Theorem 5.1 (Eq. 7): [φ⁽¹⁾ · (C) · φ⁽²⁾]
+    with the rewind idiom [(C)] between the equality check and the
+    per-segment derivation check.  [x₂] and [x₃] are bidirectional, [x₁]
+    unidirectional, matching the theorem's statement. *)
+
+val formula_parts :
+  ?separator:char ->
+  t ->
+  x1:Strdb_calculus.Window.var ->
+  x2:Strdb_calculus.Window.var ->
+  x3:Strdb_calculus.Window.var ->
+  Strdb_calculus.Sformula.t * Strdb_calculus.Sformula.t
+(** Corollary 6.1's shape: the pair [(φ⁽¹⁾, φ⁽²⁾)], both {e unidirectional}
+    string formulae (and [φ⁽²⁾] does not mention [x₁]), to be combined with
+    the relational [∧] — the conjunction resets the alignment, replacing
+    the right-transposing rewind [(C)] of {!formula}. *)

@@ -1,0 +1,257 @@
+module S = Strdb_calculus.Sformula
+module W = Strdb_calculus.Window
+
+type move = L | R | Stay
+
+type t = {
+  states : char list;
+  start : char;
+  accept : char;
+  tape_alphabet : char list;
+  left_marker : char;
+  right_marker : char;
+  delta : (char * char * char * char * move) list;
+}
+
+exception Bad_machine of string
+
+let validate m =
+  let fail s = raise (Bad_machine s) in
+  if not (List.mem m.start m.states) then fail "start state not declared";
+  if not (List.mem m.accept m.states) then fail "accept state not declared";
+  if m.left_marker = m.right_marker then fail "endmarkers must differ";
+  if
+    List.exists
+      (fun c -> List.mem c m.states || List.mem c m.tape_alphabet)
+      [ m.left_marker; m.right_marker ]
+  then fail "endmarkers must be fresh";
+  if List.exists (fun c -> List.mem c m.tape_alphabet) m.states then
+    fail "states and tape symbols overlap";
+  let readable = m.tape_alphabet @ [ m.left_marker; m.right_marker ] in
+  List.iter
+    (fun (q, x, p, y, _) ->
+      if not (List.mem q m.states && List.mem p m.states) then
+        fail "transition over undeclared state";
+      if not (List.mem x readable) then fail "transition reads an undeclared symbol";
+      if x = m.left_marker || x = m.right_marker then begin
+        if y <> x then fail "a transition may not overwrite an endmarker"
+      end
+      else if not (List.mem y m.tape_alphabet) then
+        fail "transition writes an undeclared symbol";
+      if q = m.accept then fail "transition out of the accept state")
+    m.delta
+
+let accepts m ?(max_steps = 200_000) input =
+  validate m;
+  let n = String.length input in
+  (* Marked tape: index 0 = ⊳, 1..n = input, n+1 = ⊲. *)
+  let seen = Hashtbl.create 256 in
+  let q = Queue.create () in
+  let push c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.replace seen c ();
+      Queue.add c q
+    end
+  in
+  push (m.start, input, 1);
+  let steps = ref 0 in
+  let accepted = ref false in
+  while (not !accepted) && (not (Queue.is_empty q)) && !steps < max_steps do
+    incr steps;
+    let state, tape, head = Queue.pop q in
+    if state = m.accept then accepted := true
+    else begin
+      let scanned =
+        if head = 0 then m.left_marker
+        else if head = n + 1 then m.right_marker
+        else tape.[head - 1]
+      in
+      List.iter
+        (fun (q0, x, p, y, mv) ->
+          if q0 = state && x = scanned then begin
+            let tape' =
+              if head >= 1 && head <= n then
+                String.mapi (fun i c -> if i = head - 1 then y else c) tape
+              else tape
+            in
+            match mv with
+            | R -> if head + 1 <= n + 1 then push (p, tape', head + 1)
+            | L -> if head - 1 >= 0 then push (p, tape', head - 1)
+            | Stay -> push (p, tape', head)
+          end)
+        m.delta
+    end
+  done;
+  !accepted
+
+let accepting_run m ?(max_steps = 200_000) input =
+  validate m;
+  let n = String.length input in
+  let parent = Hashtbl.create 256 in
+  let q = Queue.create () in
+  let push parent_of c =
+    if not (Hashtbl.mem parent c) then begin
+      Hashtbl.replace parent c parent_of;
+      Queue.add c q
+    end
+  in
+  push None (m.start, input, 1);
+  let steps = ref 0 in
+  let result = ref None in
+  while !result = None && (not (Queue.is_empty q)) && !steps < max_steps do
+    incr steps;
+    let ((state, tape, head) as c) = Queue.pop q in
+    if state = m.accept then begin
+      let rec back c acc =
+        match Hashtbl.find parent c with
+        | None -> c :: acc
+        | Some p -> back p (c :: acc)
+      in
+      result := Some (back c [])
+    end
+    else begin
+      let scanned =
+        if head = 0 then m.left_marker
+        else if head = n + 1 then m.right_marker
+        else tape.[head - 1]
+      in
+      List.iter
+        (fun (q0, x, p, y, mv) ->
+          if q0 = state && x = scanned then begin
+            let tape' =
+              if head >= 1 && head <= n then
+                String.mapi (fun i c -> if i = head - 1 then y else c) tape
+              else tape
+            in
+            match mv with
+            | R -> if head + 1 <= n + 1 then push (Some c) (p, tape', head + 1)
+            | L -> if head - 1 >= 0 then push (Some c) (p, tape', head - 1)
+            | Stay -> push (Some c) (p, tape', head)
+          end)
+        m.delta
+    end
+  done;
+  !result
+
+let encode_config m ~tape ~state ~head =
+  validate m;
+  let marked =
+    String.make 1 m.left_marker ^ tape ^ String.make 1 m.right_marker
+  in
+  if head < 0 || head >= String.length marked then
+    invalid_arg "Lba.encode_config: head out of range";
+  String.sub marked 0 head
+  ^ String.make 1 state
+  ^ String.sub marked head (String.length marked - head)
+
+let encode_run m run =
+  String.concat ""
+    (List.map (fun (state, tape, head) -> encode_config m ~tape ~state ~head) run)
+
+(* ψ(d,a,b): the current position holds [a], the position d to the right
+   holds [b]; finish one position further right (the paper's look-ahead
+   gadget, realised with d forward and d backward transposes). *)
+let psi x d a b =
+  S.seq
+    [
+      S.test (W.Is_char (x, a));
+      S.power (S.left [ x ] W.True) d;
+      S.test (W.Is_char (x, b));
+      S.power (S.right [ x ] W.True) d;
+      S.left [ x ] W.True;
+    ]
+
+let formula m ~input ~x =
+  validate m;
+  let n = String.length input in
+  if n = 0 then raise (Bad_machine "the Theorem 6.6 encoding needs a nonempty input");
+  let d = n + 3 in
+  (* Block 1 must spell the initial configuration ⊳ q₀ input ⊲. *)
+  let init =
+    S.seq
+      (List.map
+         (fun c -> S.left [ x ] (W.Is_char (x, c)))
+         (Strdb_util.Strutil.explode
+            (String.make 1 m.left_marker ^ String.make 1 m.start ^ input
+           ^ String.make 1 m.right_marker)))
+  in
+  let rewind_to_first_cell =
+    S.seq
+      [
+        S.star (S.right [ x ] (W.is_not_empty x));
+        S.right [ x ] (W.Is_empty x);
+        S.left [ x ] (W.Is_char (x, m.left_marker));
+      ]
+  in
+  (* Copying positions: tape symbols and markers, never a state character,
+     so each block-to-block step applies exactly one transition. *)
+  let copy =
+    S.alt
+      (List.map
+         (fun c -> psi x d c c)
+         (m.tape_alphabet @ [ m.left_marker; m.right_marker ]))
+  in
+  let contexts = m.tape_alphabet @ [ m.left_marker ] in
+  let site (q, xc, p, y, mv) =
+    match mv with
+    | R -> S.seq [ psi x d q y; psi x d xc p ]
+    | Stay -> S.seq [ psi x d q p; psi x d xc y ]
+    | L ->
+        (* forward: α Z q X β ⊢ α p Z Y β for Z the cell left of the head
+           (possibly ⊳). *)
+        S.alt
+          (List.map (fun z -> S.seq [ psi x d z p; psi x d q z; psi x d xc y ]) contexts)
+  in
+  let step =
+    S.seq [ S.star copy; S.alt (List.map site m.delta); S.star copy ]
+  in
+  (* The final block: contains the accept state and closes the string. *)
+  let tail =
+    S.seq
+      [
+        S.star (S.left [ x ] (W.not_ (W.Is_char (x, m.right_marker))));
+        S.test (W.Is_char (x, m.accept));
+        S.star (S.left [ x ] (W.not_ (W.Is_char (x, m.right_marker))));
+        S.left [ x ] (W.Is_char (x, m.right_marker));
+        S.left [ x ] (W.Is_empty x);
+      ]
+  in
+  S.seq [ init; rewind_to_first_cell; S.star step; tail ]
+
+let accepts_via_strings ?(max_blocks = 12) m input =
+  let phi = formula m ~input ~x:"x" in
+  let sigma =
+    Strdb_util.Alphabet.make
+      (m.states @ m.tape_alphabet @ [ m.left_marker; m.right_marker ])
+  in
+  let fsa = Strdb_calculus.Compile.compile sigma ~vars:[ "x" ] phi in
+  let max_len = max_blocks * (String.length input + 3) in
+  not (Strdb_fsa.Generate.is_empty_upto fsa ~max_len)
+
+let anbn =
+  {
+    states = [ 's'; 'm'; 'r'; 't'; 'f' ];
+    start = 's';
+    accept = 'f';
+    tape_alphabet = [ 'a'; 'b'; 'A'; 'B' ];
+    left_marker = '<';
+    right_marker = '%';
+    delta =
+      [
+        (* s: mark the leftmost unmarked a, or switch to the final check
+           once only marked symbols remain. *)
+        ('s', 'a', 'm', 'A', R);
+        ('s', 'B', 't', 'B', Stay);
+        (* m: seek right for the leftmost unmarked b. *)
+        ('m', 'a', 'm', 'a', R);
+        ('m', 'B', 'm', 'B', R);
+        ('m', 'b', 'r', 'B', L);
+        (* r: return to the cell right of the rightmost A. *)
+        ('r', 'a', 'r', 'a', L);
+        ('r', 'B', 'r', 'B', L);
+        ('r', 'A', 's', 'A', R);
+        (* t: verify everything to the right is marked, accept at ⊲. *)
+        ('t', 'B', 't', 'B', R);
+        ('t', '%', 'f', '%', Stay);
+      ];
+  }

@@ -1,0 +1,73 @@
+(** Linear bounded automata and the Theorem 6.6 encoding.
+
+    Theorem 6.6 proves the expression complexity of right-restricted
+    queries PSPACE-complete by reducing LBA acceptance to the truth of
+    [∃x₁.φ]: the formula [φ] holds exactly of (encodings of) accepting
+    computations of the LBA on its fixed input, so the query defines a
+    non-empty relation iff the LBA accepts.  [φ] uses one variable,
+    scanned forwards and backwards — right-restricted, as the theorem
+    requires.
+
+    The machine model has the paper's explicit endmarkers [⊳]/[⊲]
+    ("left and right endmarkers i and ⊣"): the tape is [⊳ w ⊲], the head
+    may stand on the markers but never rewrites them or leaves the marked
+    area. *)
+
+type move = L | R | Stay
+
+type t = {
+  states : char list;  (** single-character state names. *)
+  start : char;
+  accept : char;  (** no outgoing transitions. *)
+  tape_alphabet : char list;
+  left_marker : char;
+  right_marker : char;
+  delta : (char * char * char * char * move) list;
+      (** [(q, read, p, write, move)].  A transition reading a marker must
+          write it back unchanged. *)
+}
+
+exception Bad_machine of string
+
+val validate : t -> unit
+(** Consistency checks: fresh distinct markers, declared symbols, markers
+    never overwritten, no transitions out of [accept]. *)
+
+val accepts : t -> ?max_steps:int -> string -> bool
+(** Direct simulation on [⊳ input ⊲], head starting on the first input
+    cell (an LBA run is finite-state, so this is exact given enough
+    steps; default 200000). *)
+
+val accepting_run : t -> ?max_steps:int -> string -> (char * string * int) list option
+(** A shortest accepting run as a list of configurations
+    [(state, tape, head)], if one exists within the step budget; the
+    cheap source of Theorem 6.6 witnesses for tests and benches. *)
+
+val encode_run : t -> (char * string * int) list -> string
+(** Concatenate a run's configuration blocks — the string the Theorem 6.6
+    formula accepts. *)
+
+val encode_config : t -> tape:string -> state:char -> head:int -> string
+(** One configuration as the width-[|tape|+3] block: [⊳ tape ⊲] with the
+    state character inserted immediately before the scanned cell ([head]
+    indexes the marked tape: 0 is [⊳], [|tape|+1] is [⊲]). *)
+
+val formula :
+  t -> input:string -> x:Strdb_calculus.Window.var -> Strdb_calculus.Sformula.t
+(** The Theorem 6.6 string formula: [x] spells a sequence of
+    configuration blocks starting with the initial configuration on
+    [input], each next block following from its predecessor by one
+    transition (checked with the [ψ(n,a,b)] look-ahead gadget, which makes
+    [x] bidirectional), and the last block containing the accept state.
+    Its size is [O(n·t·|Γ|)], as in the theorem. *)
+
+val accepts_via_strings : ?max_blocks:int -> t -> string -> bool
+(** Decide acceptance by compiling {!formula} (Theorem 3.1) and searching
+    for an accepted witness of at most [max_blocks] configuration blocks
+    (default 12; exact for machines whose shortest accepting run fits).
+    The executable form of "satisfiability of the query" in
+    Theorem 6.6. *)
+
+val anbn : t
+(** A ready-made LBA accepting [{aⁿbⁿ : n ≥ 1}] over [{a,b}] (marking
+    sweeps), used by tests, examples and benches. *)

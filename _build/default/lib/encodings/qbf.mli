@@ -1,0 +1,100 @@
+(** Quantified Boolean formulae as alignment-calculus queries
+    (Theorem 6.5: the polynomial-time hierarchy).
+
+    Theorem 6.5 characterises each Σᵖ_k/Πᵖ_k level with quantifier-limited
+    formulae: each block of string quantifiers is guarded by a
+    right-restricted "type qualifier" whose limitation property keeps the
+    quantifier polynomial.  We implement the construction executably for
+    the levels a laptop can exercise:
+
+    - Σᵖ₁ (SAT): a CNF instance is encoded as a string; one existential
+      assignment string [y], guarded by a unidirectional length qualifier
+      and checked by a right-restricted clause-verification formula in
+      which [y] is the single bidirectional variable ("random-access
+      read-only memory", exactly the paper's [M_∃ᵏ] trick);
+    - Πᵖ₁ (co-SAT / DNF tautology): the dual by negation;
+    - Σᵖ₂: [∃y ∀z] over the same machinery through the relational layer.
+
+    Encoding (unary indices keep the automata small): an instance over
+    variables [1..n] is spelled [1ⁿ ; clause ; clause ; …] where a clause
+    is a sequence of literals, each [p1ᵏ] (positive) or [n1ᵏ] (negated)
+    for variable [k]; an assignment is a string in [{T,F}ⁿ]. *)
+
+type cnf = Strdb_baselines.Dpll.cnf
+
+val sigma : Strdb_util.Alphabet.t
+(** The instance/assignment alphabet [{1, p, n, ;, T, F}]. *)
+
+val encode : nvars:int -> cnf -> string
+(** Spell an instance.  @raise Invalid_argument on empty clauses, variables
+    outside [1..nvars], or [nvars < 1]. *)
+
+val assignment_string : (int * bool) list -> string
+(** [{T,F}]-string of an assignment listed by variable (1-based,
+    contiguous). *)
+
+val length_qualifier :
+  x:Strdb_calculus.Window.var -> y:Strdb_calculus.Window.var -> Strdb_calculus.Sformula.t
+(** The type qualifier [ψ]: [y ∈ {T,F}*] with [|y|] = the number of
+    variables declared by [x]'s unary prefix.  Unidirectional, and the
+    limitation [x ⤳ y] holds — the premise Theorem 6.5 needs for the
+    quantifier to be polynomially bounded (checkable with
+    {!Strdb_fsa.Limitation.analyze}). *)
+
+val check_formula :
+  x:Strdb_calculus.Window.var -> y:Strdb_calculus.Window.var -> Strdb_calculus.Sformula.t
+(** The clause checker: [y] is a [{T,F}]-assignment of the declared length
+    and every clause of [x] has a literal satisfied under it.  [y] is
+    bidirectional (rewound between clauses), [x] unidirectional:
+    right-restricted, as Theorem 6.5 requires. *)
+
+val sat_formula :
+  x:Strdb_calculus.Window.var -> y:Strdb_calculus.Window.var -> Strdb_calculus.Formula.t
+(** [∃y (ψ ∧ check)]: the Σᵖ₁ quantifier-limited query with free
+    variable [x]. *)
+
+val sat_via_strings : nvars:int -> cnf -> bool
+(** Decide satisfiability by the alignment-calculus route: compile
+    {!check_formula}, specialise on the encoded instance (Lemma 3.1) and
+    search for an assignment witness within the qualifier's length bound.
+    Refereed against {!Strdb_baselines.Dpll} in the tests. *)
+
+val taut_via_strings : nvars:int -> cnf -> bool
+(** Πᵖ₁: is the DNF obtained by reading each clause as a conjunctive term
+    a tautology?  Decided as [¬SAT] of the literal-wise negation — the
+    paper's duality between the Σ and Π levels. *)
+
+val encode_blocks : blocks:int list -> cnf -> string
+(** Spell a k-block instance: one unary length header per quantifier block,
+    then the clauses; variables are numbered consecutively across blocks.
+    @raise Invalid_argument on empty blocks, empty clauses or variables out
+    of range. *)
+
+val check_formula_k :
+  x:Strdb_calculus.Window.var ->
+  ys:Strdb_calculus.Window.var list ->
+  Strdb_calculus.Sformula.t
+(** The k-block clause checker: tape [x] holds an {!encode_blocks} instance,
+    tape [ys_j] an assignment string for block [j].  Right-restricted in
+    spirit — each assignment tape is rewound between literal checks — and a
+    direct generalisation of the paper's [M_∃ᵏ] machinery. *)
+
+val ph_valid : blocks:int list -> cnf -> bool
+(** Decide the level-[k] quantified formula [∃Y₁ ∀Y₂ ∃Y₃ … φ] (alternation
+    starts existential; [blocks] gives each block's width) through the
+    string machinery: compile {!check_formula_k} once and evaluate the
+    quantifier prefix over the qualifier-bounded [{T,F}]-strings —
+    Theorem 6.5 for arbitrary [k], executable at toy sizes (the decision
+    is inherently Σᵖ_k-hard). *)
+
+val brute_force_ph : blocks:int list -> cnf -> bool
+(** Referee for {!ph_valid} by direct assignment enumeration. *)
+
+val sigma2_valid : ny:int -> nz:int -> cnf -> bool
+(** Σᵖ₂ instance [∃y⃗ ∀z⃗ φ] with [φ] the CNF over variables [1..ny]
+    (the [y] block) and [ny+1..ny+nz] (the [z] block): decided through the
+    relational layer with both quantifiers ranging over qualifier-bounded
+    strings.  Exponential in [ny+nz]; test-sized instances only. *)
+
+val brute_force_sigma2 : ny:int -> nz:int -> cnf -> bool
+(** Referee for {!sigma2_valid} by direct enumeration of assignments. *)

@@ -1,0 +1,129 @@
+type move = L | R
+
+type t = {
+  states : char list;
+  start : char;
+  accept : char;
+  input_alphabet : char list;
+  tape_alphabet : char list;
+  blank : char;
+  delta : (char * char * char * char * move) list;
+}
+
+exception Bad_machine of string
+
+let validate m =
+  let fail s = raise (Bad_machine s) in
+  if not (List.mem m.start m.states) then fail "start state not declared";
+  if not (List.mem m.accept m.states) then fail "accept state not declared";
+  if not (List.mem m.blank m.tape_alphabet) then fail "blank not in tape alphabet";
+  if List.mem m.blank m.input_alphabet then fail "blank in input alphabet";
+  if not (List.for_all (fun c -> List.mem c m.tape_alphabet) m.input_alphabet)
+  then fail "input alphabet not contained in tape alphabet";
+  if List.exists (fun c -> List.mem c m.tape_alphabet) m.states then
+    fail "states and tape symbols overlap";
+  List.iter
+    (fun (q, x, p, y, _) ->
+      if not (List.mem q m.states && List.mem p m.states) then
+        fail "transition over undeclared state";
+      if not (List.mem x m.tape_alphabet && List.mem y m.tape_alphabet) then
+        fail "transition over undeclared tape symbol";
+      if q = m.accept then fail "transition out of the accept state")
+    m.delta
+
+let accepts m ?(max_steps = 100_000) input =
+  validate m;
+  (* Configurations: (state, tape contents, head index); the tape grows on
+     demand with blanks at the right, never below index 0. *)
+  let seen = Hashtbl.create 256 in
+  let q = Queue.create () in
+  let push c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.replace seen c ();
+      Queue.add c q
+    end
+  in
+  push (m.start, input, 0);
+  let steps = ref 0 in
+  let accepted = ref false in
+  while (not !accepted) && (not (Queue.is_empty q)) && !steps < max_steps do
+    incr steps;
+    let state, tape, head = Queue.pop q in
+    if state = m.accept then accepted := true
+    else begin
+      let tape =
+        if head >= String.length tape then tape ^ String.make 1 m.blank else tape
+      in
+      let scanned = tape.[head] in
+      List.iter
+        (fun (q0, x, p, y, mv) ->
+          if q0 = state && x = scanned then begin
+            let tape' =
+              String.mapi (fun i c -> if i = head then y else c) tape
+            in
+            match mv with
+            | R -> push (p, tape', head + 1)
+            | L -> if head > 0 then push (p, tape', head - 1)
+          end)
+        m.delta
+    end
+  done;
+  !accepted
+
+let to_grammar m ~left_end ~frontier ~snippet ~eraser =
+  validate m;
+  let fresh = [ left_end; frontier; snippet; eraser ] in
+  if List.length (List.sort_uniq compare fresh) <> 4 then
+    raise (Bad_machine "marker characters must be distinct");
+  List.iter
+    (fun c ->
+      if List.mem c m.states || List.mem c m.tape_alphabet then
+        raise (Bad_machine "marker characters must be fresh"))
+    fresh;
+  if
+    List.mem 'S' m.states || List.mem 'S' m.tape_alphabet || List.mem 'S' fresh
+  then raise (Bad_machine "'S' is reserved for the grammar start symbol");
+  let s1 c = String.make 1 c in
+  let guess_rules =
+    (* S → ⊳ T q T ⊲̂ for every state q: guess the final configuration of a
+       partial computation. *)
+    List.map
+      (fun q -> ("S", s1 left_end ^ s1 snippet ^ s1 q ^ s1 snippet ^ s1 frontier))
+      m.states
+  in
+  let snippet_rules =
+    (s1 snippet, "")
+    :: List.map (fun a -> (s1 snippet, s1 a ^ s1 snippet)) m.tape_alphabet
+  in
+  let backward_rules =
+    List.concat_map
+      (fun (q, x, p, y, mv) ->
+        match mv with
+        | R ->
+            (* forward: α q X β ⊢ α Y p β, also extending at the frontier
+               when X is the blank. *)
+            (s1 y ^ s1 p, s1 q ^ s1 x)
+            ::
+            (if x = m.blank then [ (s1 y ^ s1 p ^ s1 frontier, s1 q ^ s1 frontier) ]
+             else [])
+        | L ->
+            (* forward: α Z q X β ⊢ α p Z Y β for any Z. *)
+            List.concat_map
+              (fun z ->
+                (s1 p ^ s1 z ^ s1 y, s1 z ^ s1 q ^ s1 x)
+                ::
+                (if x = m.blank then
+                   [ (s1 p ^ s1 z ^ s1 y ^ s1 frontier, s1 z ^ s1 q ^ s1 frontier) ]
+                 else []))
+              m.tape_alphabet)
+      m.delta
+  in
+  let final_rules =
+    (s1 left_end ^ s1 m.start, s1 eraser)
+    :: (s1 eraser ^ s1 frontier, "")
+    :: List.map (fun a -> (s1 eraser ^ s1 a, s1 a ^ s1 eraser)) m.input_alphabet
+  in
+  {
+    Grammar.start = 'S';
+    rules = guess_rules @ snippet_rules @ backward_rules @ final_rules;
+  }

@@ -1,0 +1,42 @@
+(** Turing machines and the backward-simulation grammar of Theorem 5.1.
+
+    The theorem reduces machine totality to the limitation problem: from a
+    TM [M] it builds a grammar [G_M] that derives exactly the inputs of
+    [M], with one derivation per partial computation, simulated
+    {e backwards}.  We realise that construction executably, plus a direct
+    TM simulator as the referee. *)
+
+type move = L | R
+
+type t = {
+  states : char list;  (** single-character state names. *)
+  start : char;
+  accept : char;  (** halting/accepting state, no outgoing transitions. *)
+  input_alphabet : char list;
+  tape_alphabet : char list;  (** includes the input alphabet. *)
+  blank : char;  (** in [tape_alphabet], not in [input_alphabet]. *)
+  delta : (char * char * char * char * move) list;
+      (** [(q, read, p, write, move)] transitions. *)
+}
+
+exception Bad_machine of string
+(** Raised by {!validate} on inconsistent components. *)
+
+val validate : t -> unit
+(** Sanity checks: distinct state/tape characters, transitions over
+    declared symbols, no transitions out of [accept]. *)
+
+val accepts : t -> ?max_steps:int -> string -> bool
+(** Direct nondeterministic simulation on a half-infinite tape: does some
+    run reach [accept] within [max_steps] configuration expansions
+    (default 100000)? *)
+
+val to_grammar : t -> left_end:char -> frontier:char -> snippet:char -> eraser:char -> Grammar.t
+(** The Theorem 5.1 grammar: [S → ⟨left_end⟩ T q T ⟨frontier⟩] guesses a
+    configuration, the rule set runs [M] backwards, and the final rules
+    erase the markers once the initial configuration is reached, leaving
+    the input string.  The four marker characters must be fresh (not
+    states, not tape symbols); [snippet] is the paper's [T], [eraser] its
+    [F].  [L(G_M) = ] the strings from which [M] can reach a
+    configuration — i.e. every input prefixed computation; combined with
+    {!Grammar.formula} this is the undecidability engine. *)

@@ -1,0 +1,1 @@
+lib/fsa/crossing.ml: Array Format Hashtbl List Map Queue Strdb_util String Symbol

@@ -1,0 +1,1 @@
+lib/fsa/crossing.mli: Format Strdb_util Symbol

@@ -1,0 +1,1 @@
+lib/fsa/fsa.ml: Array Format List Strdb_util String Symbol

@@ -1,0 +1,1 @@
+lib/fsa/fsa.mli: Format Strdb_util Symbol

@@ -1,0 +1,1 @@
+lib/fsa/generate.ml: Array Fsa Hashtbl List Option Specialize Strdb_util String Symbol

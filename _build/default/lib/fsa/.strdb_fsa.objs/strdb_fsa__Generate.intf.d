@@ -1,0 +1,1 @@
+lib/fsa/generate.mli: Fsa

@@ -1,0 +1,1 @@
+lib/fsa/limitation.ml: Array Crossing Format Fsa Hashtbl Int List Map Printf Queue Strdb_util String Symbol

@@ -1,0 +1,1 @@
+lib/fsa/limitation.mli: Fsa

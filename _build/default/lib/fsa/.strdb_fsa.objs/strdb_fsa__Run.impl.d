@@ -1,0 +1,1 @@
+lib/fsa/run.ml: Array Fsa Hashtbl List Printf Queue Strdb_util Symbol

@@ -1,0 +1,1 @@
+lib/fsa/run.mli: Fsa Symbol

@@ -1,0 +1,1 @@
+lib/fsa/specialize.ml: Array Fsa Hashtbl List Queue Strdb_util Symbol

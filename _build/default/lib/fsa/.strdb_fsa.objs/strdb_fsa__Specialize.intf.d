@@ -1,0 +1,1 @@
+lib/fsa/specialize.mli: Fsa

@@ -1,0 +1,1 @@
+lib/fsa/symbol.ml: Char Format List Stdlib Strdb_util String

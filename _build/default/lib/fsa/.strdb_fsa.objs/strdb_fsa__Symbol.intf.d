@@ -1,0 +1,1 @@
+lib/fsa/symbol.mli: Format Strdb_util

@@ -1,0 +1,612 @@
+type meta = {
+  reading : bool;
+  writes : int list;
+  synthetic : bool;
+  final_read : Symbol.t array option;
+}
+
+type ttrans = {
+  src : int;
+  sym : Symbol.t;
+  dst : int;
+  move : int;
+  meta : meta;
+}
+
+type two_way = {
+  sigma : Strdb_util.Alphabet.t;
+  num_states : int;
+  start : int;
+  final : int;
+  trans : ttrans list;
+}
+
+type profile = {
+  has_reading : bool;
+  write_set : int list;
+  all_synthetic : bool;
+  final_reads : Symbol.t array list;
+}
+
+let empty_profile =
+  { has_reading = false; write_set = []; all_synthetic = true; final_reads = [] }
+
+let profile_of_meta (m : meta) =
+  {
+    has_reading = m.reading;
+    write_set = List.sort_uniq compare m.writes;
+    all_synthetic = m.synthetic;
+    final_reads = (match m.final_read with None -> [] | Some r -> [ r ]);
+  }
+
+let merge_profile a b =
+  {
+    has_reading = a.has_reading || b.has_reading;
+    write_set = List.sort_uniq compare (a.write_set @ b.write_set);
+    all_synthetic = a.all_synthetic && b.all_synthetic;
+    final_reads = List.sort_uniq compare (a.final_reads @ b.final_reads);
+  }
+
+(* A crossing sequence: (state, direction) pairs in chronological order,
+   direction +1 = crossing rightward, -1 leftward. *)
+type seq = (int * int) list
+
+let head_dir : seq -> int option = function [] -> None | (_, d) :: _ -> Some d
+
+let is_valid : seq -> bool = function
+  | [] -> false
+  | (_, d0) :: _ as l ->
+      d0 = 1
+      &&
+      (* alternating directions, ending on +1. *)
+      let rec alt last = function
+        | [] -> last = 1
+        | (_, d) :: rest -> d = -last && alt d rest
+      in
+      alt (-1) l
+
+let within_repeats ~repeats (l : seq) =
+  let tbl = Hashtbl.create 8 in
+  List.for_all
+    (fun p ->
+      let n = try Hashtbl.find tbl p with Not_found -> 0 in
+      Hashtbl.replace tbl p (n + 1);
+      n + 1 <= repeats)
+    l
+
+(* --- effective steps: stationary closure ∘ one head move ----------------- *)
+
+(* A crossing sequence only records head moves; transitions that leave the
+   head in place happen invisibly inside a cell.  Rather than materialise
+   them as extra states (the paper's "dancing"), compose each head move
+   with the stationary transitions that may precede it on the same cell. *)
+type step = { e_src : int; e_dst : int; e_move : int; e_profile : profile }
+
+let effective_steps (tw : two_way) sym =
+  let stat =
+    List.filter (fun t -> t.move = 0 && Symbol.equal t.sym sym) tw.trans
+  in
+  let mov =
+    List.filter (fun t -> t.move <> 0 && Symbol.equal t.sym sym) tw.trans
+  in
+  (* For each state q, the (p, profile) pairs reachable by stationary
+     chains; profiles saturate because merging is monotone over a finite
+     lattice. *)
+  let reach : (int, (int * profile) list) Hashtbl.t = Hashtbl.create 16 in
+  let srcs =
+    List.sort_uniq compare (List.map (fun t -> t.src) stat @ List.map (fun t -> t.src) mov)
+  in
+  List.iter
+    (fun q ->
+      let acc = ref [ (q, empty_profile) ] in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (p, pr) ->
+            List.iter
+              (fun t ->
+                if t.src = p then begin
+                  let entry = (t.dst, merge_profile pr (profile_of_meta t.meta)) in
+                  if not (List.mem entry !acc) then begin
+                    acc := entry :: !acc;
+                    changed := true
+                  end
+                end)
+              stat)
+          !acc
+      done;
+      Hashtbl.replace reach q !acc)
+    srcs;
+  let steps = ref [] in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (p, pr) ->
+          List.iter
+            (fun t ->
+              if t.src = p then
+                steps :=
+                  {
+                    e_src = q;
+                    e_dst = t.dst;
+                    e_move = t.move;
+                    e_profile = merge_profile pr (profile_of_meta t.meta);
+                  }
+                  :: !steps)
+            mov)
+        (try Hashtbl.find reach q with Not_found -> []))
+    srcs;
+  List.sort_uniq compare !steps
+
+(* --- the match relation m(Q; P; c; T) ----------------------------------- *)
+
+(* A per-symbol match-set computer, memoised across crossing sequences:
+   the set of (P, profile) with m(S; P; c; T) depends only on the suffix
+   [S], and different sequences share suffixes heavily.  Rules 1/3/5
+   consume the front of Q (recursing on strictly shorter suffixes); rule 2
+   only extends P (a closure within one level). *)
+let match_computer steps ~max_len ~repeats =
+  let by_src = Hashtbl.create 16 and by_dst = Hashtbl.create 16 in
+  let fwd = List.filter (fun t -> t.e_move = 1) steps in
+  List.iter
+    (fun t ->
+      if t.e_move = 1 then Hashtbl.add by_src t.e_src t
+      else Hashtbl.add by_dst t.e_dst t)
+    steps;
+  let cache : (seq, (seq * profile) list) Hashtbl.t = Hashtbl.create 64 in
+  let rec pset (s : seq) =
+    match Hashtbl.find_opt cache s with
+    | Some r -> r
+    | None ->
+        let acc = ref [] in
+        let seen = Hashtbl.create 32 in
+        (* Prune as we build: a partial P is a suffix of every P it grows
+           into, so exceeding the occurrence cap already disqualifies it. *)
+        let add (p, pr) =
+          if
+            List.length p <= max_len
+            && within_repeats ~repeats p
+            && not (Hashtbl.mem seen (p, pr))
+          then begin
+            Hashtbl.replace seen (p, pr) ();
+            acc := (p, pr) :: !acc
+          end
+        in
+        (match s with [] -> add ([], empty_profile) | _ -> ());
+        (* rule 1: Q = (q1,+1)(q2,-1)Q', step q1 -(-1)-> q2, premise heads
+           not -1. *)
+        (match s with
+        | (q1, 1) :: (q2, -1) :: s' when head_dir s' <> Some (-1) ->
+            List.iter
+              (fun t ->
+                if t.e_src = q1 && t.e_move = -1 then
+                  List.iter
+                    (fun (p, pr) ->
+                      if head_dir p <> Some (-1) then
+                        add (p, merge_profile pr t.e_profile))
+                    (pset s'))
+              (Hashtbl.find_all by_dst q2)
+        | _ -> ());
+        (* rule 3: Q = (q1,+1)Q', step q1 -(+1)-> p1, premise heads not
+           +1. *)
+        (match s with
+        | (q1, 1) :: s' when head_dir s' <> Some 1 ->
+            List.iter
+              (fun t ->
+                List.iter
+                  (fun (p, pr) ->
+                    if head_dir p <> Some 1 then
+                      add ((t.e_dst, 1) :: p, merge_profile pr t.e_profile))
+                  (pset s'))
+              (Hashtbl.find_all by_src q1)
+        | _ -> ());
+        (* rule 5: Q = (q1,-1)Q', step p1 -(-1)-> q1, premise heads +1 if
+           nonempty. *)
+        (match s with
+        | (q1, -1) :: s' when head_dir s' <> Some (-1) ->
+            List.iter
+              (fun t ->
+                List.iter
+                  (fun (p, pr) ->
+                    if head_dir p <> Some (-1) then
+                      add ((t.e_src, -1) :: p, merge_profile pr t.e_profile))
+                  (pset s'))
+              (Hashtbl.find_all by_dst q1)
+        | _ -> ());
+        (* rule 2 closure: prepend (p1,-1)(p2,+1) while premise heads are
+           -1 (or the sequences are empty). *)
+        if head_dir s <> Some 1 then begin
+          let frontier = ref !acc in
+          while !frontier <> [] do
+            let batch = !frontier in
+            frontier := [];
+            List.iter
+              (fun (p, pr) ->
+                if head_dir p <> Some 1 then
+                  List.iter
+                    (fun t ->
+                      let p' = (t.e_src, -1) :: (t.e_dst, 1) :: p in
+                      let pr' = merge_profile pr t.e_profile in
+                      if
+                        List.length p' <= max_len
+                        && within_repeats ~repeats p'
+                        && not (Hashtbl.mem seen (p', pr'))
+                      then begin
+                        Hashtbl.replace seen (p', pr') ();
+                        acc := (p', pr') :: !acc;
+                        frontier := (p', pr') :: !frontier
+                      end)
+                    fwd)
+              batch
+          done
+        end;
+        Hashtbl.replace cache s !acc;
+        !acc
+  in
+  pset
+
+(* --- the automaton A'' --------------------------------------------------- *)
+
+type arc = { a_src : int; a_sym : Symbol.t; a_dst : int; a_profiles : profile list }
+
+type t = {
+  n_states : int;
+  start_id : int;
+  final_id : int;
+  arcs : arc list;  (** useful arcs only. *)
+  out : arc list array;  (** outgoing useful arcs per state. *)
+}
+
+exception Too_large of string
+
+(* Restrict a two-way automaton to states on some start→final graph path. *)
+let trim_two_way (tw : two_way) =
+  let fwd = Hashtbl.create 64 and bwd = Hashtbl.create 64 in
+  let closure seeds step tbl =
+    let q = Queue.create () in
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem tbl s) then begin
+          Hashtbl.replace tbl s ();
+          Queue.add s q
+        end)
+      seeds;
+    while not (Queue.is_empty q) do
+      let s = Queue.pop q in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem tbl v) then begin
+            Hashtbl.replace tbl v ();
+            Queue.add v q
+          end)
+        (step s)
+    done
+  in
+  closure [ tw.start ]
+    (fun s -> List.filter_map (fun t -> if t.src = s then Some t.dst else None) tw.trans)
+    fwd;
+  closure [ tw.final ]
+    (fun s -> List.filter_map (fun t -> if t.dst = s then Some t.src else None) tw.trans)
+    bwd;
+  let useful s = Hashtbl.mem fwd s && Hashtbl.mem bwd s in
+  { tw with trans = List.filter (fun t -> useful t.src && useful t.dst) tw.trans }
+
+(* Forward-bisimulation quotient of the two-way automaton: after the
+   projection onto tape b, states that differ only in the disregarded
+   tapes' bookkeeping collapse, which keeps the crossing sequences short.
+   Moore refinement with the transition label (symbol, move, profile of the
+   metadata) as the observation; the final state keeps its own class. *)
+let reduce_two_way (tw : two_way) =
+  let states = tw.num_states in
+  let cls = Array.make states 0 in
+  cls.(tw.final) <- 1;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let sig_tbl = Hashtbl.create 32 in
+    let next_cls = Array.make states 0 in
+    let next_id = ref 0 in
+    for q = 0 to states - 1 do
+      let signature =
+        ( cls.(q),
+          List.filter_map
+            (fun t ->
+              if t.src = q then Some (t.sym, t.move, t.meta, cls.(t.dst))
+              else None)
+            tw.trans
+          |> List.sort_uniq compare )
+      in
+      let id =
+        match Hashtbl.find_opt sig_tbl signature with
+        | Some id -> id
+        | None ->
+            let id = !next_id in
+            incr next_id;
+            Hashtbl.add sig_tbl signature id;
+            id
+      in
+      next_cls.(q) <- id
+    done;
+    let distinct_old =
+      Array.to_list cls |> List.sort_uniq compare |> List.length
+    in
+    if !next_id <> distinct_old then changed := true;
+    Array.blit next_cls 0 cls 0 states
+  done;
+  let trans =
+    List.map (fun t -> { t with src = cls.(t.src); dst = cls.(t.dst) }) tw.trans
+    |> List.sort_uniq compare
+  in
+  {
+    tw with
+    num_states = Array.fold_left max 0 cls + 1;
+    start = cls.(tw.start);
+    final = cls.(tw.final);
+    trans;
+  }
+
+let build ?(max_states = 50000) ?(repeats = 1) (tw : two_way) =
+  let tw = reduce_two_way (trim_two_way tw) in
+  let max_len = (2 * repeats * tw.num_states) + 2 in
+  let matcher_for =
+    let cache = Hashtbl.create 8 in
+    fun sym ->
+      match Hashtbl.find_opt cache sym with
+      | Some m -> m
+      | None ->
+          let m = match_computer (effective_steps tw sym) ~max_len ~repeats in
+          Hashtbl.replace cache sym m;
+          m
+  in
+  let ids : (seq, int) Hashtbl.t = Hashtbl.create 256 in
+  let n = ref 0 in
+  let worklist = Queue.create () in
+  let intern s =
+    match Hashtbl.find_opt ids s with
+    | Some id -> id
+    | None ->
+        let id = !n in
+        incr n;
+        if id > max_states then
+          raise (Too_large "crossing-sequence state budget exceeded");
+        Hashtbl.replace ids s id;
+        Queue.add s worklist;
+        id
+  in
+  let start_seq = [ (tw.start, 1) ] in
+  let final_seq = [ (tw.final, 1) ] in
+  let start_id = intern start_seq in
+  let arcs = ref [] in
+  (* Group matches by destination sequence, collecting distinct profiles. *)
+  let push_arcs src_id sym ms ~restrict_to =
+    let module SM = Map.Make (struct
+      type t = seq
+
+      let compare = compare
+    end) in
+    let grouped =
+      List.fold_left
+        (fun acc (p, pr) ->
+          let keep =
+            is_valid p
+            && match restrict_to with None -> true | Some s -> p = s
+          in
+          if keep then
+            SM.update p
+              (function None -> Some [ pr ] | Some l -> Some (pr :: l))
+              acc
+          else acc)
+        SM.empty ms
+    in
+    SM.iter
+      (fun p profiles ->
+        let dst = intern p in
+        arcs :=
+          {
+            a_src = src_id;
+            a_sym = sym;
+            a_dst = dst;
+            a_profiles = List.sort_uniq compare profiles;
+          }
+          :: !arcs)
+      grouped
+  in
+  while not (Queue.is_empty worklist) do
+    let s = Queue.pop worklist in
+    let id = Hashtbl.find ids s in
+    if s <> final_seq then begin
+      (* ⊢ only occurs as the first square. *)
+      if id = start_id then
+        push_arcs id Symbol.Lend (matcher_for Symbol.Lend s) ~restrict_to:None;
+      List.iter
+        (fun c ->
+          push_arcs id (Symbol.Chr c) (matcher_for (Symbol.Chr c) s)
+            ~restrict_to:None)
+        (Strdb_util.Alphabet.chars tw.sigma);
+      (* ⊣ is the last square: its arc must land on the final boundary. *)
+      push_arcs id Symbol.Rend (matcher_for Symbol.Rend s)
+        ~restrict_to:(Some final_seq)
+    end
+  done;
+  let n_states = !n in
+  let final_id =
+    match Hashtbl.find_opt ids final_seq with Some id -> id | None -> -1
+  in
+  (* Prune to useful states. *)
+  let fwd = Array.make n_states false in
+  let bwd = Array.make n_states false in
+  let out_all = Array.make n_states [] in
+  let in_all = Array.make n_states [] in
+  List.iter
+    (fun a ->
+      out_all.(a.a_src) <- a :: out_all.(a.a_src);
+      in_all.(a.a_dst) <- a :: in_all.(a.a_dst))
+    !arcs;
+  let bfs seeds adj mark =
+    let q = Queue.create () in
+    List.iter
+      (fun s ->
+        if s >= 0 && not mark.(s) then begin
+          mark.(s) <- true;
+          Queue.add s q
+        end)
+      seeds;
+    while not (Queue.is_empty q) do
+      let s = Queue.pop q in
+      List.iter
+        (fun v ->
+          if not mark.(v) then begin
+            mark.(v) <- true;
+            Queue.add v q
+          end)
+        (adj s)
+    done
+  in
+  bfs [ start_id ] (fun s -> List.map (fun a -> a.a_dst) out_all.(s)) fwd;
+  bfs [ final_id ] (fun s -> List.map (fun a -> a.a_src) in_all.(s)) bwd;
+  let useful id = id >= 0 && fwd.(id) && bwd.(id) in
+  let arcs = List.filter (fun a -> useful a.a_src && useful a.a_dst) !arcs in
+  let out = Array.make (max n_states 1) [] in
+  List.iter (fun a -> out.(a.a_src) <- a :: out.(a.a_src)) arcs;
+  { n_states; start_id; final_id; arcs; out }
+
+(* --- running ------------------------------------------------------------- *)
+
+let step t states sym =
+  List.concat_map
+    (fun id ->
+      List.filter_map
+        (fun a -> if Symbol.equal a.a_sym sym then Some a.a_dst else None)
+        t.out.(id))
+    states
+  |> List.sort_uniq compare
+
+let accepts t v =
+  if t.final_id < 0 then false
+  else begin
+    let states = ref (step t [ t.start_id ] Symbol.Lend) in
+    String.iter (fun c -> states := step t !states (Symbol.Chr c)) v;
+    let states = step t !states Symbol.Rend in
+    List.mem t.final_id states
+  end
+
+let two_way_accepts (tw : two_way) v =
+  let n = String.length v in
+  (* Squares: 0 = ⊢, 1..n = v, n+1 = ⊣; crossing past ⊣ lands on n+2. *)
+  let sym_at j =
+    if j = 0 then Symbol.Lend else if j <= n then Symbol.Chr v.[j - 1] else Symbol.Rend
+  in
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let push c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.replace seen c ();
+      Queue.add c q
+    end
+  in
+  push (tw.start, 0);
+  let accepted = ref false in
+  while (not !accepted) && not (Queue.is_empty q) do
+    let p, j = Queue.pop q in
+    if p = tw.final then accepted := true
+    else if j <= n + 1 then
+      List.iter
+        (fun tr ->
+          if tr.src = p && Symbol.equal tr.sym (sym_at j) then
+            push (tr.dst, j + tr.move))
+        tw.trans
+  done;
+  !accepted
+
+(* --- statistics and checks ----------------------------------------------- *)
+
+let num_states t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace tbl a.a_src ();
+      Hashtbl.replace tbl a.a_dst ())
+    t.arcs;
+  Hashtbl.length tbl
+
+let num_arcs t = List.length t.arcs
+let is_empty t = t.arcs = [] || t.final_id < 0
+
+let exists_accepting_final_read t pred =
+  List.exists
+    (fun a ->
+      List.exists (fun pr -> List.exists pred pr.final_reads) a.a_profiles)
+    t.arcs
+
+let exists_all_synthetic_accepting_arc t =
+  t.final_id >= 0
+  && List.exists
+       (fun a ->
+         a.a_dst = t.final_id
+         && List.exists (fun pr -> pr.all_synthetic) a.a_profiles)
+       t.arcs
+
+(* Kosaraju SCC over the subgraph of arcs that admit a reading-free match. *)
+let exists_quiet_cycle t ~require_write =
+  let quiet a = List.exists (fun pr -> not pr.has_reading) a.a_profiles in
+  let quiet_arcs = List.filter quiet t.arcs in
+  if quiet_arcs = [] then false
+  else begin
+    let nodes =
+      List.concat_map (fun a -> [ a.a_src; a.a_dst ]) quiet_arcs
+      |> List.sort_uniq compare
+    in
+    let succ = Hashtbl.create 64 and pred = Hashtbl.create 64 in
+    List.iter
+      (fun a ->
+        Hashtbl.add succ a.a_src a.a_dst;
+        Hashtbl.add pred a.a_dst a.a_src)
+      quiet_arcs;
+    let visited = Hashtbl.create 64 in
+    let order = ref [] in
+    let rec dfs1 v =
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        List.iter dfs1 (Hashtbl.find_all succ v);
+        order := v :: !order
+      end
+    in
+    List.iter dfs1 nodes;
+    let comp = Hashtbl.create 64 in
+    let c = ref 0 in
+    let rec dfs2 v =
+      if not (Hashtbl.mem comp v) then begin
+        Hashtbl.replace comp v !c;
+        List.iter dfs2 (Hashtbl.find_all pred v)
+      end
+    in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem comp v) then begin
+          dfs2 v;
+          incr c
+        end)
+      !order;
+    let internal a = Hashtbl.find comp a.a_src = Hashtbl.find comp a.a_dst in
+    let cyclic_comps =
+      List.filter_map
+        (fun a -> if internal a then Some (Hashtbl.find comp a.a_src) else None)
+        quiet_arcs
+      |> List.sort_uniq compare
+    in
+    if not require_write then cyclic_comps <> []
+    else
+      List.exists
+        (fun a ->
+          internal a
+          && List.mem (Hashtbl.find comp a.a_src) cyclic_comps
+          && List.exists
+               (fun pr -> (not pr.has_reading) && pr.write_set <> [])
+               a.a_profiles)
+        quiet_arcs
+  end
+
+let pp_stats ppf t =
+  Format.fprintf ppf "A'': %d useful crossing sequences, %d arcs (of %d explored)"
+    (num_states t) (num_arcs t) t.n_states

@@ -1,0 +1,113 @@
+(** The crossing-sequence construction of Theorem 5.2.
+
+    Given the two-way one-tape projection of a right-restricted k-FSA (all
+    tapes but the bidirectional tape [b] disregarded, with per-transition
+    bookkeeping preserved), build the one-way automaton [A″] whose states
+    are the {e valid, almost direct crossing sequences}: sequences of
+    [(state, direction)] pairs with alternating directions, starting and
+    ending with [+1], in which no pair occurs three times.  An arc of [A″]
+    consumes one tape square and is labelled by the {e matches} — the sets
+    of two-way transitions that realise the pair of adjacent crossing
+    sequences on that square (the paper's inductive relation
+    [m(Q; P; c; T)], Figs. 7–8).
+
+    The central observation of Theorem 5.2 holds by construction: [A″]
+    accepts [⊢u⊣] exactly when the two-way automaton has an (almost direct)
+    accepting computation on [u], and the limitation questions of Section 5
+    become graph questions about [A″]'s arcs and cycles. *)
+
+type meta = {
+  reading : bool;
+      (** the transition advances some unidirectional input tape. *)
+  writes : int list;
+      (** the unidirectional output tapes the transition advances. *)
+  synthetic : bool;
+      (** added by the cleanup/dancing normalisations (moves only [b]). *)
+  final_read : Symbol.t array option;
+      (** for cleanup-entry transitions: the full read vector of the
+          original accepting transition they replace. *)
+}
+(** Bookkeeping attached to each two-way transition so the limitation
+    checks can classify matches. *)
+
+type ttrans = {
+  src : int;
+  sym : Symbol.t;  (** the square's symbol required under the head. *)
+  dst : int;
+  move : int;  (** [-1], [0] or [+1].  Stationary transitions are handled
+                   natively: each cell's {e effective steps} compose a
+                   stationary closure with one head move, subsuming the
+                   paper's "dancing" normalisation without extra states. *)
+  meta : meta;
+}
+(** A transition of the two-way one-tape automaton. *)
+
+type two_way = {
+  sigma : Strdb_util.Alphabet.t;
+  num_states : int;
+  start : int;
+  final : int;  (** unique final state, no outgoing transitions. *)
+  trans : ttrans list;
+}
+(** A normalised two-way automaton: the head starts on [⊢] and accepts by
+    crossing past [⊣] into [final] (the winding normalisation guarantees
+    this shape). *)
+
+type profile = {
+  has_reading : bool;  (** some match transition is reading. *)
+  write_set : int list;  (** output tapes advanced by match transitions. *)
+  all_synthetic : bool;  (** every match transition is synthetic. *)
+  final_reads : Symbol.t array list;
+      (** read vectors of original accepting transitions in the match. *)
+}
+(** The aggregate of one particular match realising an arc; an arc keeps
+    every distinct profile of its matches. *)
+
+type t
+(** The constructed automaton [A″], pruned to useful states. *)
+
+exception Too_large of string
+(** Raised when exploration exceeds the state budget. *)
+
+val build : ?max_states:int -> ?repeats:int -> two_way -> t
+(** Construct [A″].  [repeats] caps how many times a (state, direction)
+    pair may recur inside one crossing sequence: [1] (the default) builds
+    the {e direct} automaton, which the paper shows suffices for the easy
+    and hard limitation checks; [2] builds the {e almost direct} one.
+    @raise Too_large beyond [max_states] (default 50000) crossing
+    sequences. *)
+
+val two_way_accepts : two_way -> string -> bool
+(** Referee: direct configuration-graph simulation of the two-way automaton
+    on [⊢u⊣] (acceptance = reaching [final]).  Used by tests to validate
+    {!accepts}. *)
+
+val accepts : t -> string -> bool
+(** Run [A″] as an ordinary NFA on [⊢u⊣]. *)
+
+val num_states : t -> int
+(** Useful crossing sequences. *)
+
+val num_arcs : t -> int
+(** Useful arcs. *)
+
+val is_empty : t -> bool
+(** No accepting path (hence the two-way language is empty). *)
+
+val exists_accepting_final_read : t -> (Symbol.t array -> bool) -> bool
+(** Does some useful arc carry a profile whose recorded original accepting
+    transition satisfies the predicate?  Drives the "easy output tape"
+    check. *)
+
+val exists_all_synthetic_accepting_arc : t -> bool
+(** Does some arc into the final crossing sequence have an all-synthetic
+    profile — i.e. the two-way head never truly reached [⊣] (the
+    bidirectional tape's "easy" case)? *)
+
+val exists_quiet_cycle : t -> require_write : bool -> bool
+(** Is there a cycle of useful arcs each having a profile without reading
+    operations (and, when [require_write], at least one such profile in the
+    cycle advancing an output tape)?  Drives the "hard" checks. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: states/arcs of the construction. *)

@@ -1,0 +1,126 @@
+(* A lazily-determined tape: the committed prefix, whether the string has
+   been declared complete, and the head position.  Invariant: the head sits
+   on a *concrete* square — position 0 (⊢), a committed character, or, when
+   [finished], position [length committed + 1] (⊣); a head about to enter
+   the unknown frontier forces a branch before any transition fires. *)
+type tape = { committed : string; finished : bool; pos : int }
+
+type node = { state : int; tapes : tape array }
+
+let symbol_under tape =
+  if tape.pos = 0 then Some Symbol.Lend
+  else if tape.pos <= String.length tape.committed then
+    Some (Symbol.Chr tape.committed.[tape.pos - 1])
+  else if tape.finished then Some Symbol.Rend
+  else None (* at the frontier of an unfinished tape: must branch first *)
+
+let node_key n =
+  ( n.state,
+    Array.to_list (Array.map (fun t -> (t.committed, t.finished, t.pos)) n.tapes)
+  )
+
+let accepted (a : Fsa.t) ~max_len =
+  if max_len < 0 then invalid_arg "Generate.accepted: negative bound";
+  let sigma_chars = Strdb_util.Alphabet.chars a.sigma in
+  let results = Hashtbl.create 64 in
+  let seen = Hashtbl.create 1024 in
+  let stack = ref [] in
+  let push n =
+    let k = node_key n in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      stack := n :: !stack
+    end
+  in
+  push { state = a.start; tapes = Array.make a.arity { committed = ""; finished = false; pos = 0 } };
+  (* Emit all completions of the committed prefixes of unfinished tapes. *)
+  let emit n =
+    let rec expand i acc =
+      if i = a.arity then Hashtbl.replace results (List.rev acc) ()
+      else
+        let t = n.tapes.(i) in
+        if t.finished then expand (i + 1) (t.committed :: acc)
+        else
+          let budget = max_len - String.length t.committed in
+          let suffixes = Strdb_util.Strutil.all_strings_upto a.sigma (max budget 0) in
+          List.iter (fun sfx -> expand (i + 1) ((t.committed ^ sfx) :: acc)) suffixes
+    in
+    expand 0 []
+  in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest -> (
+        stack := rest;
+        (* If some head is at the frontier of an unfinished tape, branch on
+           what that square holds. *)
+        let frontier_tape =
+          let idx = ref (-1) in
+          Array.iteri
+            (fun i t -> if !idx < 0 && symbol_under t = None then idx := i)
+            n.tapes;
+          !idx
+        in
+        if frontier_tape >= 0 then begin
+          let i = frontier_tape in
+          let t = n.tapes.(i) in
+          (* In a non-final state, committing a symbol no transition can
+             read dead-ends immediately (every transition needs all heads to
+             match), so branch only on the symbols the state can consume.
+             Final states keep the full branching: an unreadable symbol is a
+             halting — hence accepting — configuration. *)
+          let final = Fsa.is_final a n.state in
+          let readable =
+            if final then None
+            else
+              Some
+                (List.map (fun (tr : Fsa.transition) -> tr.read.(i)) (Fsa.outgoing a n.state))
+          in
+          let allowed sym =
+            match readable with
+            | None -> true
+            | Some syms -> List.exists (Symbol.equal sym) syms
+          in
+          (* End the string here... *)
+          if allowed Symbol.Rend then begin
+            let tapes_end = Array.copy n.tapes in
+            tapes_end.(i) <- { t with finished = true };
+            push { n with tapes = tapes_end }
+          end;
+          (* ...or commit each possible next character, within the bound. *)
+          if String.length t.committed < max_len then
+            List.iter
+              (fun c ->
+                if allowed (Symbol.Chr c) then begin
+                  let tapes_c = Array.copy n.tapes in
+                  tapes_c.(i) <- { t with committed = t.committed ^ String.make 1 c };
+                  push { n with tapes = tapes_c }
+                end)
+              sigma_chars
+        end
+        else begin
+          let under = Array.map (fun t -> Option.get (symbol_under t)) n.tapes in
+          let fires =
+            List.filter
+              (fun (tr : Fsa.transition) ->
+                Array.for_all2 Symbol.equal tr.read under)
+              (Fsa.outgoing a n.state)
+          in
+          (* A halting configuration accepts every completion of the
+             unexplored parts of the tapes. *)
+          if fires = [] && Fsa.is_final a n.state then emit n;
+          List.iter
+            (fun (tr : Fsa.transition) ->
+              let tapes =
+                Array.mapi
+                  (fun i t -> { t with pos = t.pos + tr.moves.(i) })
+                  n.tapes
+              in
+              push { state = tr.dst; tapes })
+            fires
+        end)
+  done;
+  Hashtbl.fold (fun tup () acc -> tup :: acc) results [] |> List.sort compare
+
+let outputs a ~inputs ~max_len = accepted (Specialize.specialize a inputs) ~max_len
+let is_empty_upto a ~max_len = accepted a ~max_len = []

@@ -1,0 +1,27 @@
+(** Enumerating the tuples accepted by a k-FSA.
+
+    This is the "generalized Mealy machine" reading of an FSA discussed
+    after Definition 3.1: instead of checking given strings, the automaton
+    *produces* tape contents.  The enumerator explores configurations whose
+    tapes are only partially determined, committing characters lazily the
+    first time a head enters an unexplored square and branching over the
+    alphabet (or the decision to end the string there).  Together with the
+    limitation analysis (which bounds output lengths) this is what makes
+    FSA-based selection over the infinite domain Σ* finitely evaluable
+    (Section 4). *)
+
+val accepted : Fsa.t -> max_len:int -> string list list
+(** [accepted a ~max_len] is every tuple of [L(a)] whose components all have
+    length at most [max_len], sorted.  When an accepting computation halts
+    without having examined the whole of some tape, all extensions of the
+    committed prefix up to [max_len] are accepted and are all enumerated. *)
+
+val outputs : Fsa.t -> inputs:string list -> max_len:int -> string list list
+(** [outputs a ~inputs ~max_len] fixes the first tapes to [inputs]
+    (Lemma 3.1) and enumerates the accepted contents of the remaining
+    tapes, each bounded by [max_len]; sorted. *)
+
+val is_empty_upto : Fsa.t -> max_len:int -> bool
+(** No accepted tuple with all components of length at most [max_len].
+    (Nonemptiness of two-way multitape automata is undecidable in general —
+    Theorem 5.1 — so a bound is required.) *)

@@ -1,0 +1,42 @@
+(** Simulation of k-FSAs: configurations, computations, acceptance.
+
+    A configuration on input [W = (w₁,…,w_k)] is [(p, n₁,…,n_k)] with
+    [0 ≤ nᵢ ≤ |wᵢ|+1].  A computation accepts when it starts in the initial
+    configuration [(s, 0,…,0)], is finite, ends in a final state, and its
+    last configuration has no next configuration (Section 3).  The default
+    decision procedure is the configuration-graph search of Theorem 3.3:
+    polynomial in the input lengths for a fixed FSA. *)
+
+type config = { state : int; pos : int array }
+(** A configuration: control state plus one head position per tape. *)
+
+val initial : Fsa.t -> config
+(** The initial configuration [(s, 0, …, 0)]. *)
+
+val symbols_under_heads : string array -> config -> Symbol.t array
+(** The symbol vector the heads observe. *)
+
+val enabled : Fsa.t -> string array -> config -> Fsa.transition list
+(** The transitions applicable in a configuration. *)
+
+val successors : Fsa.t -> string array -> config -> config list
+(** The next configurations. *)
+
+val accepts : Fsa.t -> string list -> bool
+(** [accepts a ws] decides [ws ∈ L(a)] by breadth-first search over the
+    configuration graph (Theorem 3.3).  @raise Invalid_argument if the tuple
+    arity differs from the FSA's or a string uses characters outside the
+    alphabet. *)
+
+val accepts_dfs : Fsa.t -> string list -> bool
+(** Ablation baseline: depth-first search with a visited set.  Decides the
+    same language; included so benches can compare traversal orders. *)
+
+val accepting_trace : Fsa.t -> string list -> config list option
+(** A witnessing computation (list of configurations from the initial one to
+    an accepting halt), if the tuple is accepted; breadth-first, so the
+    trace has minimal length. *)
+
+val reachable_configs : Fsa.t -> string list -> config list
+(** All configurations reachable from the initial one (ordered by
+    discovery); the node set of Lemma 3.1's configuration graph. *)

@@ -1,0 +1,50 @@
+let specialize (a : Fsa.t) us =
+  let k = List.length us in
+  if k > a.arity then invalid_arg "Specialize: more strings than tapes";
+  List.iter (Strdb_util.Alphabet.check_string a.sigma) us;
+  let us = Array.of_list us in
+  let l = a.arity - k in
+  (* A state of B is (p, n₁..n_k); intern them lazily in discovery order so
+     only the reachable part is built. *)
+  let ids = Hashtbl.create 64 in
+  let next = ref 0 in
+  let worklist = Queue.create () in
+  let intern (p, pos) =
+    let key = (p, pos) in
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace ids key id;
+        Queue.add key worklist;
+        id
+  in
+  let start = intern (a.start, Array.to_list (Array.make k 0)) in
+  let transitions = ref [] in
+  let finals = ref [] in
+  while not (Queue.is_empty worklist) do
+    let ((p, pos) as key) = Queue.pop worklist in
+    let id = Hashtbl.find ids key in
+    if Fsa.is_final a p then finals := id :: !finals;
+    let pos = Array.of_list pos in
+    List.iter
+      (fun (tr : Fsa.transition) ->
+        (* The fixed tapes must read the symbols actually on u₁..u_k. *)
+        let compatible = ref true in
+        for i = 0 to k - 1 do
+          if not (Symbol.equal tr.read.(i) (Symbol.of_tape us.(i) pos.(i))) then
+            compatible := false
+        done;
+        if !compatible then begin
+          let pos' = Array.mapi (fun i n -> n + tr.moves.(i)) pos in
+          let dst = intern (tr.dst, Array.to_list pos') in
+          let read = Array.sub tr.read k l and moves = Array.sub tr.moves k l in
+          transitions := { Fsa.src = id; read; dst; moves } :: !transitions
+        end)
+      (Fsa.outgoing a p)
+  done;
+  Fsa.make ~sigma:a.sigma ~arity:l ~num_states:(max 1 !next) ~start
+    ~finals:!finals ~transitions:(List.rev !transitions)
+
+let acceptance_graph a ws = specialize a ws

@@ -1,0 +1,19 @@
+(** Input specialisation of a k-FSA (Lemma 3.1).
+
+    Given a (k+l)-FSA [A] and concrete contents [u₁,…,u_k] for its first
+    [k] tapes, build an l-FSA [B] with
+    [L(B) = {(v₁,…,v_l) : (u₁,…,u_k,v₁,…,v_l) ∈ L(A)}].  [B]'s states are
+    the pairs of an [A]-state with head positions on the fixed tapes, so
+    [|B| ≤ |A|·Π(|uᵢ|+2)] — the polynomial bound of the lemma.  Only the
+    part reachable from the start is materialised. *)
+
+val specialize : Fsa.t -> string list -> Fsa.t
+(** [specialize a us] fixes the first [List.length us] tapes of [a] to the
+    strings [us].  The result has arity [a.arity - List.length us].
+    @raise Invalid_argument if more strings than tapes are supplied or a
+    string leaves the alphabet. *)
+
+val acceptance_graph : Fsa.t -> string list -> Fsa.t
+(** [acceptance_graph a ws] specialises on an entire input tuple, yielding
+    the 0-FSA whose states are [a]'s configurations on [ws] — the graph of
+    Theorem 3.3.  Acceptance of [ws] by [a] is path existence here. *)

@@ -1,0 +1,25 @@
+type t = Chr of char | Lend | Rend
+
+let all sigma =
+  List.map (fun c -> Chr c) (Strdb_util.Alphabet.chars sigma) @ [ Lend; Rend ]
+
+let of_tape w j =
+  let n = String.length w in
+  if j < 0 || j > n + 1 then invalid_arg "Symbol.of_tape: position out of range"
+  else if j = 0 then Lend
+  else if j = n + 1 then Rend
+  else Chr w.[j - 1]
+
+let is_end = function Lend | Rend -> true | Chr _ -> false
+let equal a b = a = b
+
+let compare a b =
+  let key = function Chr c -> (0, Char.code c) | Lend -> (1, 0) | Rend -> (2, 0) in
+  Stdlib.compare (key a) (key b)
+
+let pp ppf = function
+  | Chr c -> Format.pp_print_char ppf c
+  | Lend -> Format.pp_print_string ppf "⊢"
+  | Rend -> Format.pp_print_string ppf "⊣"
+
+let to_string s = Strdb_util.Pretty.to_string pp s

@@ -1,0 +1,35 @@
+(** Tape symbols of a k-FSA: alphabet characters plus the endmarkers.
+
+    A k-FSA head reads from [Σ ∪ {⊢, ⊣}] (the paper's [c̸] and [$]): the
+    left endmarker sits at tape position 0, the right endmarker at position
+    [|w|+1]. *)
+
+type t =
+  | Chr of char  (** an alphabet character. *)
+  | Lend  (** the left endmarker ⊢. *)
+  | Rend  (** the right endmarker ⊣. *)
+
+val all : Strdb_util.Alphabet.t -> t list
+(** Every symbol a head can observe: the alphabet characters in rank order,
+    then [Lend], then [Rend]. *)
+
+val of_tape : string -> int -> t
+(** [of_tape w j] is the [j]th symbol of the tape holding [w]: [Lend] at 0,
+    [w.[j-1]] for [1 <= j <= length w], [Rend] at [length w + 1].
+    @raise Invalid_argument outside [0 .. length w + 1]. *)
+
+val is_end : t -> bool
+(** Is the symbol an endmarker?  In alignment terms this is the window
+    showing ε/undefined (the paper's [x = ⊥] test). *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+(** Total order (characters first by code, then [Lend], then [Rend]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the character itself, [⊢] or [⊣]. *)
+
+val to_string : t -> string
+(** [pp] rendered to a string. *)

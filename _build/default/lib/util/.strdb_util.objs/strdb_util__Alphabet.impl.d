@@ -1,0 +1,1 @@
+lib/util/alphabet.ml: Array Char Format List Printf String

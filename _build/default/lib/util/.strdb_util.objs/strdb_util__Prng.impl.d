@@ -1,0 +1,1 @@
+lib/util/prng.ml: Alphabet Int64 List String

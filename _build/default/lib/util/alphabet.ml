@@ -1,0 +1,62 @@
+exception Invalid_alphabet of string
+
+type t = {
+  chars : char array;
+  (* rank.(Char.code c) is the 0-based rank of c, or -1 when c is absent. *)
+  rank : int array;
+}
+
+let make chars =
+  let n = List.length chars in
+  if n < 2 then
+    raise (Invalid_alphabet "an alphabet needs at least two characters");
+  let rank = Array.make 256 (-1) in
+  let arr = Array.of_list chars in
+  Array.iteri
+    (fun i c ->
+      let code = Char.code c in
+      if rank.(code) >= 0 then
+        raise (Invalid_alphabet (Printf.sprintf "duplicate character %C" c));
+      rank.(code) <- i)
+    arr;
+  { chars = arr; rank }
+
+let of_string s = make (List.init (String.length s) (String.get s))
+let size t = Array.length t.chars
+let chars t = Array.to_list t.chars
+let mem t c = t.rank.(Char.code c) >= 0
+
+let rank t c =
+  let r = t.rank.(Char.code c) in
+  if r < 0 then raise Not_found else r
+
+let nth t i =
+  if i < 0 || i >= Array.length t.chars then
+    invalid_arg "Alphabet.nth: index out of range";
+  t.chars.(i)
+
+let equal a b = a.chars = b.chars
+let subset a b = Array.for_all (mem b) a.chars
+
+let check_string t s =
+  String.iter
+    (fun c ->
+      if not (mem t c) then
+        raise
+          (Invalid_alphabet
+             (Printf.sprintf "character %C is not in the alphabet" c)))
+    s
+
+let contains_string t s =
+  try
+    check_string t s;
+    true
+  with Invalid_alphabet _ -> false
+
+let dna = of_string "acgt"
+let binary = of_string "ab"
+let abc = of_string "abc"
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map (String.make 1) (chars t)))

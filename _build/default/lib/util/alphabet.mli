@@ -1,0 +1,65 @@
+(** Fixed finite alphabets.
+
+    The paper fixes a finite alphabet [Σ] with at least two characters before
+    any database is designed (Section 2).  All layers of this library —
+    alignments, string formulae, k-FSAs, the algebra — are parameterised by a
+    value of type {!t}.  An alphabet is an ordered, duplicate-free collection
+    of characters with O(1) membership and rank queries. *)
+
+type t
+(** A fixed finite alphabet with at least two characters. *)
+
+exception Invalid_alphabet of string
+(** Raised by {!make} when given fewer than two characters or duplicates. *)
+
+val make : char list -> t
+(** [make chars] builds the alphabet containing exactly [chars], in the given
+    order.  @raise Invalid_alphabet if [chars] has fewer than two distinct
+    characters or contains duplicates. *)
+
+val of_string : string -> t
+(** [of_string s] is [make] applied to the characters of [s] in order. *)
+
+val size : t -> int
+(** Number of characters in the alphabet. *)
+
+val chars : t -> char list
+(** The characters of the alphabet, in rank order. *)
+
+val mem : t -> char -> bool
+(** [mem sigma c] tests whether [c] belongs to [sigma]. *)
+
+val rank : t -> char -> int
+(** [rank sigma c] is the 0-based position of [c] in [sigma].
+    @raise Not_found if [c] is not a member. *)
+
+val nth : t -> int -> char
+(** [nth sigma i] is the character of rank [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val equal : t -> t -> bool
+(** Structural equality of alphabets (same characters in the same order). *)
+
+val subset : t -> t -> bool
+(** [subset a b] holds when every character of [a] belongs to [b]. *)
+
+val check_string : t -> string -> unit
+(** [check_string sigma s] verifies every character of [s] belongs to
+    [sigma].  @raise Invalid_alphabet naming the first offending character. *)
+
+val contains_string : t -> string -> bool
+(** [contains_string sigma s] is [true] iff every character of [s] is in
+    [sigma]. *)
+
+val dna : t
+(** The DNA alphabet [{a; c; g; t}] used throughout the paper's motivating
+    examples. *)
+
+val binary : t
+(** The two-letter alphabet [{a; b}] used in Fig. 6 and most small proofs. *)
+
+val abc : t
+(** The three-letter alphabet [{a; b; c}] used by e.g. the aⁿbⁿcⁿ example. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print an alphabet as [{a,b,c}]. *)

@@ -1,0 +1,18 @@
+let list ~sep pp ppf xs =
+  let n = List.length xs in
+  List.iteri
+    (fun i x ->
+      pp ppf x;
+      if i < n - 1 then Format.pp_print_string ppf sep)
+    xs
+
+let str_lit ppf s =
+  if s = "" then Format.pp_print_string ppf "ε"
+  else Format.fprintf ppf "%S" s
+
+let tuple ppf ss =
+  Format.pp_print_string ppf "⟨";
+  list ~sep:"," str_lit ppf ss;
+  Format.pp_print_string ppf "⟩"
+
+let to_string pp x = Format.asprintf "%a" pp x

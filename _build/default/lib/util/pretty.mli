@@ -1,0 +1,13 @@
+(** Shared pretty-printing helpers built on {!Fmt}. *)
+
+val list : sep:string -> (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a list -> unit
+(** [list ~sep pp] prints a list with the literal separator [sep]. *)
+
+val str_lit : Format.formatter -> string -> unit
+(** Print a string as a quoted literal, rendering the empty string as [ε]. *)
+
+val tuple : Format.formatter -> string list -> unit
+(** Print a tuple of strings as [⟨"u","v"⟩] with [ε] for empty components. *)
+
+val to_string : (Format.formatter -> 'a -> unit) -> 'a -> string
+(** Render a value with a pretty-printer into a string. *)

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+(* splitmix64 step; the standard constants. *)
+let next g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  v mod n
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let float g =
+  let v = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let char g sigma = Alphabet.nth sigma (int g (Alphabet.size sigma))
+let string g sigma n = String.init n (fun _ -> char g sigma)
+let string_upto g sigma n = string g sigma (int g (n + 1))

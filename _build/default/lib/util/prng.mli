@@ -1,0 +1,38 @@
+(** A small deterministic pseudo-random number generator (splitmix64).
+
+    Workload generation must be reproducible across runs and machines, so we
+    avoid [Random] (whose sequence is not guaranteed stable across OCaml
+    versions) and carry explicit state. *)
+
+type t
+(** Mutable PRNG state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** An independent copy continuing from the current state. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+(** A uniform boolean. *)
+
+val float : t -> float
+(** A uniform float in [\[0, 1)]. *)
+
+val pick : t -> 'a list -> 'a
+(** [pick g xs] is a uniformly chosen element of [xs].
+    @raise Invalid_argument on the empty list. *)
+
+val char : t -> Alphabet.t -> char
+(** A uniformly chosen character of the alphabet. *)
+
+val string : t -> Alphabet.t -> int -> string
+(** [string g sigma n] is a uniformly random string of length [n]. *)
+
+val string_upto : t -> Alphabet.t -> int -> string
+(** [string_upto g sigma n] first picks a length uniformly in [\[0, n\]] then
+    a uniform string of that length. *)

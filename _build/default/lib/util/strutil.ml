@@ -1,0 +1,98 @@
+let explode s = List.init (String.length s) (String.get s)
+
+let implode cs =
+  let b = Buffer.create (List.length cs) in
+  List.iter (Buffer.add_char b) cs;
+  Buffer.contents b
+
+let all_strings sigma n =
+  let cs = Alphabet.chars sigma in
+  let rec go n =
+    if n = 0 then [ "" ]
+    else
+      let shorter = go (n - 1) in
+      List.concat_map
+        (fun c -> List.map (fun s -> String.make 1 c ^ s) shorter)
+        cs
+  in
+  (* [go] prepends, so order is lexicographic on ranks. *)
+  go n
+
+let all_strings_upto sigma n =
+  List.concat (List.init (n + 1) (fun k -> all_strings sigma k))
+
+let is_prefix p s =
+  String.length p <= String.length s && String.sub s 0 (String.length p) = p
+
+let is_suffix p s =
+  let lp = String.length p and ls = String.length s in
+  lp <= ls && String.sub s (ls - lp) lp = p
+
+let is_substring p s =
+  let lp = String.length p and ls = String.length s in
+  if lp = 0 then true
+  else
+    let rec go i = i + lp <= ls && (String.sub s i lp = p || go (i + 1)) in
+    go 0
+
+let is_subsequence p s =
+  let lp = String.length p and ls = String.length s in
+  let rec go i j =
+    if i = lp then true
+    else if j = ls then false
+    else if p.[i] = s.[j] then go (i + 1) (j + 1)
+    else go i (j + 1)
+  in
+  go 0 0
+
+let repeat s k =
+  if k < 0 then invalid_arg "Strutil.repeat: negative count";
+  let b = Buffer.create (String.length s * k) in
+  for _ = 1 to k do
+    Buffer.add_string b s
+  done;
+  Buffer.contents b
+
+let is_manifold u v =
+  if u = "" then v = ""
+  else if v = "" then false
+  else
+    let lu = String.length u and lv = String.length v in
+    lu mod lv = 0 && repeat v (lu / lv) = u
+
+let reverse s =
+  let n = String.length s in
+  String.init n (fun i -> s.[n - 1 - i])
+
+let count_char c s = String.fold_left (fun n d -> if d = c then n + 1 else n) 0 s
+
+let shuffles u v =
+  let rec go u v =
+    match (u, v) with
+    | [], v -> [ v ]
+    | u, [] -> [ u ]
+    | (a :: u' as us), (b :: v' as vs) ->
+        List.map (fun w -> a :: w) (go u' vs)
+        @ List.map (fun w -> b :: w) (go us v')
+  in
+  go (explode u) (explode v) |> List.map implode |> List.sort_uniq compare
+
+let is_shuffle w u v =
+  let lw = String.length w and lu = String.length u and lv = String.length v in
+  if lw <> lu + lv then false
+  else begin
+    (* dp.(i).(j): w[0..i+j) is a shuffle of u[0..i) and v[0..j). *)
+    let dp = Array.make_matrix (lu + 1) (lv + 1) false in
+    dp.(0).(0) <- true;
+    for i = 0 to lu do
+      for j = 0 to lv do
+        if not ((i, j) = (0, 0)) then
+          dp.(i).(j) <-
+            (i > 0 && dp.(i - 1).(j) && u.[i - 1] = w.[i + j - 1])
+            || (j > 0 && dp.(i).(j - 1) && v.[j - 1] = w.[i + j - 1])
+      done
+    done;
+    dp.(lu).(lv)
+  end
+
+let longest ss = List.fold_left (fun n s -> max n (String.length s)) 0 ss

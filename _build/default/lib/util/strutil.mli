@@ -1,0 +1,61 @@
+(** String helpers shared across the library.
+
+    Everything operates on plain OCaml [string]s: the paper's data model is
+    finite strings over a fixed finite alphabet, so native immutable strings
+    are the right representation. *)
+
+val explode : string -> char list
+(** [explode s] is the list of characters of [s], in order. *)
+
+val implode : char list -> string
+(** [implode cs] is the string whose characters are [cs], in order. *)
+
+val all_strings : Alphabet.t -> int -> string list
+(** [all_strings sigma n] enumerates every string over [sigma] of length
+    exactly [n], in lexicographic order of ranks.  There are [|Σ|ⁿ] of them;
+    intended for small exhaustive tests. *)
+
+val all_strings_upto : Alphabet.t -> int -> string list
+(** [all_strings_upto sigma n] enumerates every string over [sigma] of length
+    at most [n], shortest first. *)
+
+val is_prefix : string -> string -> bool
+(** [is_prefix p s] holds when [p] is a prefix of [s]. *)
+
+val is_suffix : string -> string -> bool
+(** [is_suffix p s] holds when [p] is a suffix of [s]. *)
+
+val is_substring : string -> string -> bool
+(** [is_substring p s] holds when [p] occurs contiguously inside [s]
+    (the empty string occurs in every string). *)
+
+val is_subsequence : string -> string -> bool
+(** [is_subsequence p s] holds when [p] can be obtained from [s] by deleting
+    characters. *)
+
+val repeat : string -> int -> string
+(** [repeat s k] is [s] concatenated with itself [k] times ([k >= 0]). *)
+
+val is_manifold : string -> string -> bool
+(** [is_manifold u v] holds when [u] is a manifold of [v] in the paper's
+    sense (Example 4): [u = v^k] for some [k >= 1] ("the strings of the form
+    vvv⋯v").  In particular [ε] is a manifold only of [ε]. *)
+
+val reverse : string -> string
+(** [reverse s] is [s] written backwards. *)
+
+val count_char : char -> string -> int
+(** [count_char c s] is the number of occurrences of [c] in [s]. *)
+
+val shuffles : string -> string -> string list
+(** [shuffles u v] is the list (with duplicates removed) of all interleavings
+    of [u] and [v] — the shuffle of Example 5.  Exponential; test-sized
+    inputs only. *)
+
+val is_shuffle : string -> string -> string -> bool
+(** [is_shuffle w u v] decides membership of [w] in the shuffle of [u] and
+    [v] by dynamic programming (polynomial, usable as a baseline). *)
+
+val longest : string list -> int
+(** [longest ss] is the length of the longest string in [ss] ([0] when
+    empty). *)

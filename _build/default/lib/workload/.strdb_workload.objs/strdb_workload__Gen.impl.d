@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Buffer List Strdb_calculus Strdb_util String

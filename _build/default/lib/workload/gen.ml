@@ -1,0 +1,98 @@
+module P = Strdb_util.Prng
+module A = Strdb_util.Alphabet
+
+let strings sigma ~seed ~n ~len =
+  let g = P.create seed in
+  List.init n (fun _ -> P.string g sigma len)
+
+let dna_strings ~seed ~n ~len = strings A.dna ~seed ~n ~len
+
+let dna_strings_upto ~seed ~n ~max_len =
+  let g = P.create seed in
+  List.init n (fun _ -> P.string_upto g A.dna max_len)
+
+let mutate g sigma ~edits s =
+  let apply s =
+    let n = String.length s in
+    match P.int g 3 with
+    | 0 when n > 0 ->
+        (* substitute *)
+        let i = P.int g n in
+        String.mapi (fun j c -> if j = i then P.char g sigma else c) s
+    | 1 ->
+        (* insert *)
+        let i = P.int g (n + 1) in
+        String.sub s 0 i ^ String.make 1 (P.char g sigma) ^ String.sub s i (n - i)
+    | _ when n > 0 ->
+        (* delete *)
+        let i = P.int g n in
+        String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | _ -> s ^ String.make 1 (P.char g sigma)
+  in
+  let rec go k s = if k = 0 then s else go (k - 1) (apply s) in
+  go edits s
+
+let mutated_pairs sigma ~seed ~n ~len ~edits =
+  let g = P.create seed in
+  List.init n (fun _ ->
+      let u = P.string g sigma len in
+      (u, mutate g sigma ~edits u))
+
+let plant_motif g sigma ~motif ~len =
+  let extra = max 0 (len - String.length motif) in
+  let left = P.int g (extra + 1) in
+  P.string g sigma left ^ motif ^ P.string g sigma (extra - left)
+
+let pair_db sigma ~seed ~name ~n ~len =
+  let g = P.create seed in
+  let tuples =
+    List.init n (fun _ -> [ P.string_upto g sigma len; P.string_upto g sigma len ])
+  in
+  Strdb_calculus.Database.of_list [ (name, tuples) ]
+
+let genomic_db ~seed ~n ~len =
+  let g = P.create seed in
+  let seqs = List.init n (fun _ -> [ P.string_upto g A.dna len ]) in
+  let pairs =
+    List.init (max 1 (n / 2)) (fun _ ->
+        let u = P.string_upto g A.dna len in
+        [ u; mutate g A.dna ~edits:(P.int g 3) u ])
+  in
+  Strdb_calculus.Database.of_list [ ("seq", seqs); ("pair", pairs) ]
+
+let random_cnf ~seed ~vars ~clauses ~width =
+  if width > vars then invalid_arg "Gen.random_cnf: width exceeds variables";
+  let g = P.create seed in
+  List.init clauses (fun _ ->
+      let rec pick acc =
+        if List.length acc = width then acc
+        else
+          let v = 1 + P.int g vars in
+          if List.mem v acc then pick acc else pick (v :: acc)
+      in
+      List.map (fun v -> if P.bool g then v else -v) (pick []))
+
+let shuffled_triples sigma ~seed ~n ~len =
+  let g = P.create seed in
+  List.init n (fun _ ->
+      let u = P.string_upto g sigma len and v = P.string_upto g sigma len in
+      (* Interleave by random draws. *)
+      let b = Buffer.create (String.length u + String.length v) in
+      let rec go i j =
+        if i < String.length u && j < String.length v then begin
+          if P.bool g then begin
+            Buffer.add_char b u.[i];
+            go (i + 1) j
+          end
+          else begin
+            Buffer.add_char b v.[j];
+            go i (j + 1)
+          end
+        end
+        else begin
+          Buffer.add_substring b u i (String.length u - i);
+          Buffer.add_substring b v j (String.length v - j)
+        end
+      in
+      go 0 0;
+      (Buffer.contents b, u, v))

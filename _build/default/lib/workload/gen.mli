@@ -1,0 +1,60 @@
+(** Deterministic workload generators for benches, examples and tests.
+
+    The paper's motivating domain is genetic sequence databases (Σ =
+    {a,c,g,t}); there is no published dataset, so every experiment runs on
+    synthetic workloads generated here from fixed seeds (see DESIGN.md's
+    substitution table). *)
+
+val dna_strings : seed:int -> n:int -> len:int -> string list
+(** [n] uniform DNA strings of length exactly [len]. *)
+
+val dna_strings_upto : seed:int -> n:int -> max_len:int -> string list
+(** [n] DNA strings with uniform lengths in [\[0, max_len\]]. *)
+
+val strings : Strdb_util.Alphabet.t -> seed:int -> n:int -> len:int -> string list
+(** Uniform strings over an arbitrary alphabet. *)
+
+val mutate : Strdb_util.Prng.t -> Strdb_util.Alphabet.t -> edits:int -> string -> string
+(** Apply exactly [edits] random single-character edits (substitute, insert
+    or delete, uniformly) — pairs generated this way have edit distance at
+    most [edits]. *)
+
+val mutated_pairs :
+  Strdb_util.Alphabet.t ->
+  seed:int ->
+  n:int ->
+  len:int ->
+  edits:int ->
+  (string * string) list
+(** [n] pairs [(u, mutate u)] for similarity-search workloads
+    (Example 8). *)
+
+val plant_motif :
+  Strdb_util.Prng.t -> Strdb_util.Alphabet.t -> motif:string -> len:int -> string
+(** A random string of length at least [len] containing [motif] at a random
+    position — substring-search workloads (Example 7) with guaranteed
+    hits. *)
+
+val pair_db :
+  Strdb_util.Alphabet.t ->
+  seed:int ->
+  name:string ->
+  n:int ->
+  len:int ->
+  Strdb_calculus.Database.t
+(** A database with one binary relation of [n] uniform string pairs of
+    length up to [len]. *)
+
+val genomic_db : seed:int -> n:int -> len:int -> Strdb_calculus.Database.t
+(** The standing example database: unary ["seq"] with [n] DNA sequences of
+    length up to [len], and binary ["pair"] with [n/2] mutated pairs at
+    edit distance at most 2. *)
+
+val random_cnf : seed:int -> vars:int -> clauses:int -> width:int -> int list list
+(** Random CNF with the given number of variables and clauses, each clause
+    of the given width with distinct variables — Theorem 6.5 workloads. *)
+
+val shuffled_triples :
+  Strdb_util.Alphabet.t -> seed:int -> n:int -> len:int -> (string * string * string) list
+(** [n] triples [(w, u, v)] where [w] is a random interleaving of [u] and
+    [v] — positive instances for Example 5. *)

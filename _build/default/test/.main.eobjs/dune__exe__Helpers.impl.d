@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Compile List Naive Prng Run Sformula Strdb String Strutil Window

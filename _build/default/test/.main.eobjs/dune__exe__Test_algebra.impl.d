@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Alphabet Combinators Compile Database Formula Helpers List Prng Sformula Strdb Strdb_util Strutil Translate

@@ -1,0 +1,1 @@
+test/test_alignment.ml: Alignment Alphabet Helpers List Prng Sformula Strdb String Symbol Window

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Alphabet Dfa Helpers List Nfa Regex Regex_of_nfa Strdb String Strutil

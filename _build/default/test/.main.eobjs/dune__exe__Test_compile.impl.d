@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Alphabet Combinators Compile Edit_distance Fsa Generate Helpers Limitation List Naive Printf Regex Run Sformula Strdb String Strutil

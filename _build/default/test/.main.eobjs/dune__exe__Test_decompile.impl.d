@@ -1,0 +1,1 @@
+test/test_decompile.ml: Alcotest Alphabet Combinators Compile Decompile Fsa Helpers List Naive Regex Regex_embed Run Sformula Strdb String Strutil Symbol Window

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Alphabet Combinators Database Formula Helpers List Sformula Strdb Window

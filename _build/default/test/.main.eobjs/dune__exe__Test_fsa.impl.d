@@ -1,0 +1,1 @@
+test/test_fsa.ml: Alcotest Alphabet Array Combinators Compile Fsa Generate Helpers List Printf Prng Run Sformula Specialize Strdb String Strutil Symbol Window

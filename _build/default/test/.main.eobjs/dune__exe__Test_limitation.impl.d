@@ -1,0 +1,1 @@
+test/test_limitation.ml: Alcotest Alphabet Combinators Compile Crossing Fsa Generate Helpers Limitation List Prng Sformula Strdb String Strutil Symbol Window

@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Alphabet Combinators Database Formula Helpers Query Regex Regex_embed Strdb

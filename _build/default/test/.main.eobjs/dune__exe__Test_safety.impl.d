@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Alphabet Combinators Database Eval Formula Helpers List Printf Prng Safety Strdb String

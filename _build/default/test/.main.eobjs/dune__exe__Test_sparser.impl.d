@@ -1,0 +1,1 @@
+test/test_sparser.ml: Alcotest Alphabet Combinators Database Eval Formula Helpers List Naive Sformula Sparser Strdb Window

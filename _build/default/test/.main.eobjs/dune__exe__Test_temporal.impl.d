@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Alphabet Combinators Compile Helpers List Naive Run Seqpred Sformula Strdb String Strutil Temporal Window

@@ -1,0 +1,1 @@
+test/test_util.ml: Alphabet Helpers List Printf Prng Strdb String Strutil

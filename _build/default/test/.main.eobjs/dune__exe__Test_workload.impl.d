@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Alphabet Database Dpll Edit_distance Helpers List Printf Prng Strdb String Strmatch Strutil Workload

@@ -1,0 +1,89 @@
+(* Shared helpers for the test suites. *)
+open Strdb
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_string_list = Alcotest.(check (list string))
+let check_tuples = Alcotest.(check (list (list string)))
+
+let tc name f = Alcotest.test_case name `Quick f
+let slow_tc name f = Alcotest.test_case name `Slow f
+
+(* Exhaustive tuples over Σ^{<=n}. *)
+let all_tuples sigma ~arity ~max_len =
+  let words = Strutil.all_strings_upto sigma max_len in
+  let rec go k = if k = 0 then [ [] ] else
+    List.concat_map (fun t -> List.map (fun w -> w :: t) words) (go (k - 1))
+  in
+  go arity
+
+(* Check a compiled string formula against a reference predicate on every
+   tuple with components up to [max_len], and simultaneously against the
+   naive model checker. *)
+let check_formula_against ?(also_naive = true) name sigma vars phi reference
+    ~max_len =
+  let fsa = Compile.compile sigma ~vars phi in
+  List.iter
+    (fun tup ->
+      let got = Run.accepts fsa tup in
+      let want = reference tup in
+      if got <> want then
+        Alcotest.failf "%s: FSA disagrees with reference on (%s): got %b"
+          name
+          (String.concat "," tup) got;
+      if also_naive then begin
+        let naive = Naive.holds phi (List.combine vars tup) in
+        if naive <> want then
+          Alcotest.failf "%s: naive checker disagrees with reference on (%s)"
+            name
+            (String.concat "," tup)
+      end)
+    (all_tuples sigma ~arity:(List.length vars) ~max_len)
+
+(* QCheck generator for random string formulae over given variables. *)
+let random_window g sigma vars depth =
+  let module P = Prng in
+  let rec go depth =
+    if depth = 0 then
+      match P.int g 4 with
+      | 0 -> Window.True
+      | 1 -> Window.Is_empty (P.pick g vars)
+      | 2 -> Window.Is_char (P.pick g vars, P.char g sigma)
+      | _ -> Window.Eq (P.pick g vars, P.pick g vars)
+    else
+      match P.int g 6 with
+      | 0 -> Window.And (go (depth - 1), go (depth - 1))
+      | 1 -> Window.Or (go (depth - 1), go (depth - 1))
+      | 2 -> Window.Not (go (depth - 1))
+      | _ -> go 0
+  in
+  go depth
+
+let random_sformula ?(allow_right = true) g sigma vars depth =
+  let module P = Prng in
+  let subset () =
+    List.filter (fun _ -> P.bool g) vars |> function [] -> [ P.pick g vars ] | l -> l
+  in
+  let rec go depth =
+    if depth = 0 then begin
+      let w = random_window g sigma vars 2 in
+      if allow_right && P.int g 4 = 0 then Sformula.right (subset ()) w
+      else Sformula.left (subset ()) w
+    end
+    else
+      match P.int g 8 with
+      | 0 | 1 -> Sformula.Concat (go (depth - 1), go (depth - 1))
+      | 2 | 3 -> Sformula.Union (go (depth - 1), go (depth - 1))
+      | 4 -> Sformula.Star (go (depth - 1))
+      | 5 -> Sformula.Lambda
+      | _ -> go 0
+  in
+  go depth
+
+(* Run a deterministic "property": [iters] seeded draws, failing with a
+   counterexample description. *)
+let forall_seeded ~iters f =
+  for seed = 1 to iters do
+    f (Prng.create seed) seed
+  done

@@ -1,0 +1,253 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+let db =
+  Database.of_list
+    [ ("r", [ [ "a"; "b" ]; [ "ab"; "" ]; [ "b"; "b" ] ]); ("s", [ [ "b" ]; [ "ab" ] ]) ]
+
+let schema = Database.relations db
+
+let arity_tests =
+  [
+    tc "arities" (fun () ->
+        check_int "rel" 2 (Algebra.arity ~schema (Algebra.Rel "r"));
+        check_int "sigma" 1 (Algebra.arity ~schema Algebra.Sigma_star);
+        check_int "product" 3
+          (Algebra.arity ~schema (Algebra.Product (Algebra.Rel "r", Algebra.Rel "s")));
+        check_int "project" 1
+          (Algebra.arity ~schema (Algebra.Project ([ 1 ], Algebra.Rel "r"))));
+    tc "type errors" (fun () ->
+        let bad e =
+          try
+            ignore (Algebra.arity ~schema e);
+            false
+          with Algebra.Type_error _ -> true
+        in
+        check_bool "unknown rel" true (bad (Algebra.Rel "nope"));
+        check_bool "union mismatch" true (bad (Algebra.Union (Algebra.Rel "r", Algebra.Rel "s")));
+        check_bool "projection range" true (bad (Algebra.Project ([ 7 ], Algebra.Rel "r")));
+        check_bool "projection repeat" true (bad (Algebra.Project ([ 0; 0 ], Algebra.Rel "r")));
+        check_bool "selection arity" true
+          (bad
+             (Algebra.Select
+                ( Compile.compile b ~vars:[ "x" ] Sformula.Lambda,
+                  Algebra.Rel "r" ))));
+  ]
+
+let eval_tests =
+  [
+    tc "set operators" (fun () ->
+        let v e = Algebra.eval b db ~cutoff:2 e in
+        check_tuples "union"
+          [ [ "a"; "b" ]; [ "ab"; "" ]; [ "b"; "b" ] ]
+          (v (Algebra.Union (Algebra.Rel "r", Algebra.Rel "r")));
+        check_tuples "diff"
+          [ [ "a" ] ]
+          (v (Algebra.Diff (Algebra.Project ([ 0 ], Algebra.Rel "r"), Algebra.Rel "s")));
+        check_tuples "inter"
+          [ [ "ab" ]; [ "b" ] ]
+          (v (Algebra.inter (Algebra.Project ([ 0 ], Algebra.Rel "r")) (Algebra.Rel "s"))));
+    tc "sigma domains" (fun () ->
+        check_int "sigma* at cutoff 2" 7
+          (List.length (Algebra.eval b db ~cutoff:2 Algebra.Sigma_star));
+        check_int "sigma<=1 capped by cutoff" 3
+          (List.length (Algebra.eval b db ~cutoff:2 (Algebra.Sigma_upto 1)));
+        check_int "sigma<=5 capped by cutoff 1" 3
+          (List.length (Algebra.eval b db ~cutoff:1 (Algebra.Sigma_upto 5))));
+    tc "selection" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "c0"; "c1" ] (Combinators.equal_s "c0" "c1") in
+        check_tuples "equal pairs" [ [ "b"; "b" ] ]
+          (Algebra.eval b db ~cutoff:2 (Algebra.Select (fsa, Algebra.Rel "r"))));
+    tc "strategies agree on random expressions" (fun () ->
+        forall_seeded ~iters:40 (fun g seed ->
+            (* random small expressions over r, s, Σ*, with occasional
+               selection by a random 1-var formula *)
+            let rec expr depth arity_wanted =
+              if depth = 0 then
+                match arity_wanted with
+                | 1 -> if Prng.bool g then Algebra.Rel "s" else Algebra.Sigma_star
+                | 2 -> Algebra.Rel "r"
+                | n -> Algebra.product_list (List.init n (fun _ -> Algebra.Sigma_star))
+              else
+                match Prng.int g 5 with
+                | 0 -> Algebra.Union (expr (depth - 1) arity_wanted, expr (depth - 1) arity_wanted)
+                | 1 -> Algebra.Diff (expr (depth - 1) arity_wanted, expr (depth - 1) arity_wanted)
+                | 2 when arity_wanted >= 2 ->
+                    Algebra.Product (expr (depth - 1) 1, expr (depth - 1) (arity_wanted - 1))
+                | 3 when arity_wanted = 1 ->
+                    Algebra.Project ([ Prng.int g 2 ], expr (depth - 1) 2)
+                | _ ->
+                    let phi = random_sformula ~allow_right:false g b [ "c0" ] 2 in
+                    if arity_wanted = 1 then
+                      Algebra.Select (Compile.compile b ~vars:[ "c0" ] phi, expr (depth - 1) 1)
+                    else expr (depth - 1) arity_wanted
+            in
+            let e = expr 2 (1 + Prng.int g 2) in
+            let m = Algebra.eval ~strategy:Algebra.Materialize b db ~cutoff:2 e in
+            let gen = Algebra.eval ~strategy:Algebra.Generate b db ~cutoff:2 e in
+            if m <> gen then
+              Alcotest.failf "seed %d: strategies disagree on %s" seed
+                (Strdb_util.Pretty.to_string Algebra.pp e)));
+    tc "generator shape detected" (fun () ->
+        (* σ_concat over r and Sigma-star by generation: per-pair concatenations *)
+        let fsa =
+          Compile.compile b ~vars:[ "c0"; "c1"; "c2" ]
+            (Combinators.concat3 "c2" "c0" "c1")
+        in
+        let e = Algebra.Select (fsa, Algebra.Product (Algebra.Rel "r", Algebra.Sigma_star)) in
+        let got = Algebra.eval ~strategy:Algebra.Generate b db ~cutoff:4 e in
+        check_tuples "concats"
+          [ [ "a"; "b"; "ab" ]; [ "ab"; ""; "ab" ]; [ "b"; "b"; "bb" ] ]
+          got);
+  ]
+
+(* --- Theorem 4.2: calculus -> algebra ------------------------------------ *)
+
+let of_formula_agree name phi free ~cutoff =
+  let expr, cols = Translate.of_formula b phi in
+  check_string_list (name ^ " columns") free cols;
+  let via_algebra = Algebra.eval b db ~cutoff expr in
+  let reference = Formula.answers b db ~max_len:cutoff ~free phi in
+  check_tuples name reference via_algebra
+
+let translate_tests =
+  [
+    tc "relational atom" (fun () ->
+        of_formula_agree "r(x,y)" (Formula.Rel ("r", [ "x"; "y" ])) [ "x"; "y" ] ~cutoff:2);
+    tc "repeated variables" (fun () ->
+        of_formula_agree "r(x,x)" (Formula.Rel ("r", [ "x"; "x" ])) [ "x" ] ~cutoff:2);
+    tc "string atom" (fun () ->
+        of_formula_agree "x=y"
+          (Formula.Str (Combinators.equal_s "x" "y"))
+          [ "x"; "y" ] ~cutoff:1);
+    tc "conjunction with shared variables" (fun () ->
+        of_formula_agree "r(x,y) ∧ s(y)"
+          (Formula.And (Formula.Rel ("r", [ "x"; "y" ]), Formula.Rel ("s", [ "y" ])))
+          [ "x"; "y" ] ~cutoff:2);
+    tc "negation" (fun () ->
+        of_formula_agree "s(x) ∧ ¬(x=b)"
+          (Formula.And
+             ( Formula.Rel ("s", [ "x" ]),
+               Formula.Not (Formula.Str (Combinators.literal "x" "b")) ))
+          [ "x" ] ~cutoff:2);
+    tc "existential projection" (fun () ->
+        of_formula_agree "∃y r(x,y)"
+          (Formula.Exists ("y", Formula.Rel ("r", [ "x"; "y" ])))
+          [ "x" ] ~cutoff:2);
+    tc "vacuous quantifier" (fun () ->
+        of_formula_agree "∃z s(x)"
+          (Formula.Exists ("z", Formula.Rel ("s", [ "x" ])))
+          [ "x" ] ~cutoff:2);
+    slow_tc "random conjunctive formulae agree" (fun () ->
+        forall_seeded ~iters:20 (fun g seed ->
+            let atoms =
+              [
+                Formula.Rel ("r", [ "x"; "y" ]);
+                Formula.Rel ("s", [ "x" ]);
+                Formula.Rel ("s", [ "y" ]);
+                Formula.Str (Combinators.prefix "x" "y");
+                Formula.Str (Combinators.equal_s "x" "y");
+              ]
+            in
+            let c1 = Prng.pick g atoms and c2 = Prng.pick g atoms in
+            let phi = Formula.And (c1, c2) in
+            let phi = if Prng.bool g then Formula.Exists ("y", phi) else phi in
+            let free = Formula.free_vars phi in
+            let expr, cols = Translate.of_formula b phi in
+            let via = Algebra.eval b db ~cutoff:2 expr in
+            let reference = Formula.answers b db ~max_len:2 ~free phi in
+            if cols <> free || via <> reference then
+              Alcotest.failf "seed %d: Theorem 4.2 translation disagrees" seed));
+  ]
+
+(* --- the Section 4 worked example ----------------------------------------- *)
+
+let worked_example_tests =
+  [
+    tc "π₁ σ_A (Σ* × R1 × R3) with W(db) = max(R1) + max(R3)" (fun () ->
+        (* The paper's end-of-Section-4 example: the concatenation query in
+           algebra form, evaluated finitely by substituting Σ^{≤W(db)} for
+           Σ*, with the explicit limit function from Eq. (2). *)
+        let db =
+          Database.of_list
+            [ ("r1", [ [ "a" ]; [ "ba" ] ]); ("r3", [ [ "b" ]; [ "ab" ] ]) ]
+        in
+        let fsa =
+          (* A over (x, y, z): x = y·z, matching σ_A(Σ* × R1 × R3). *)
+          Compile.compile b ~vars:[ "c0"; "c1"; "c2" ]
+            (Combinators.concat3 "c0" "c1" "c2")
+        in
+        let max_len r =
+          List.fold_left (fun m t -> max m (Strutil.longest t)) 0 (Database.find db r)
+        in
+        let w = max_len "r1" + max_len "r3" in
+        check_int "W(db)" 4 w;
+        let expr =
+          Algebra.Project
+            ( [ 0 ],
+              Algebra.Select
+                ( fsa,
+                  Algebra.product_list
+                    [ Algebra.Sigma_upto w; Algebra.Rel "r1"; Algebra.Rel "r3" ] ) )
+        in
+        let answers = Algebra.eval b db ~cutoff:w expr in
+        check_tuples "concatenations"
+          [ [ "aab" ]; [ "ab" ]; [ "baab" ]; [ "bab" ] ]
+          answers;
+        (* Eq. 6: the answer has stabilised — a larger cutoff changes
+           nothing. *)
+        let expr' =
+          Algebra.Project
+            ( [ 0 ],
+              Algebra.Select
+                ( fsa,
+                  Algebra.product_list
+                    [ Algebra.Sigma_upto (w + 2); Algebra.Rel "r1"; Algebra.Rel "r3" ] ) )
+        in
+        check_tuples "stable" answers (Algebra.eval b db ~cutoff:(w + 2) expr'));
+  ]
+
+(* --- Theorem 4.1: algebra -> calculus ------------------------------------ *)
+
+let to_formula_tests =
+  [
+    slow_tc "expressions round-trip through the calculus" (fun () ->
+        let fsa_eq = Compile.compile b ~vars:[ "c0"; "c1" ] (Combinators.equal_s "c0" "c1") in
+        let cases =
+          [
+            ("rel", Algebra.Rel "s");
+            ("union", Algebra.Union (Algebra.Rel "s", Algebra.Project ([ 0 ], Algebra.Rel "r")));
+            ("diff", Algebra.Diff (Algebra.Rel "s", Algebra.Project ([ 1 ], Algebra.Rel "r")));
+            ("product", Algebra.Product (Algebra.Rel "s", Algebra.Rel "s"));
+            ("select", Algebra.Select (fsa_eq, Algebra.Rel "r"));
+            ("sigma_upto", Algebra.Sigma_upto 1);
+            ("project", Algebra.Project ([ 1; 0 ], Algebra.Rel "r"));
+          ]
+        in
+        List.iter
+          (fun (name, e) ->
+            let phi, cols = Translate.to_formula ~schema e in
+            let direct = Algebra.eval b db ~cutoff:2 e in
+            (* [answers ~free:cols] orders its columns as [cols]. *)
+            let via = Formula.answers b db ~max_len:2 ~free:cols phi in
+            if List.sort compare via <> List.sort compare direct then
+              Alcotest.failf "%s: Theorem 4.1 round trip disagrees" name)
+          cases);
+    tc "sigma_star translates to a tautology" (fun () ->
+        let phi, cols = Translate.to_formula ~schema Algebra.Sigma_star in
+        check_int "one column" 1 (List.length cols);
+        (* its answers at cutoff l are all of Σ^{<=l} *)
+        let ans = Formula.answers b db ~max_len:1 ~free:cols phi in
+        check_int "3 strings" 3 (List.length ans));
+  ]
+
+let suites =
+  [
+    ("algebra.arity", arity_tests);
+    ("algebra.eval", eval_tests);
+    ("algebra.thm42", translate_tests);
+    ("algebra.worked-example", worked_example_tests);
+    ("algebra.thm41", to_formula_tests);
+  ]

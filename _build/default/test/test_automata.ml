@@ -1,0 +1,165 @@
+open Strdb
+open Helpers
+
+let sigma = Alphabet.binary
+
+let parse_print_tests =
+  [
+    tc "parse basic" (fun () ->
+        check_bool "chr" true (Regex.parse "a" = Regex.Chr 'a');
+        check_bool "eps" true (Regex.parse "~" = Regex.Eps);
+        check_bool "empty" true (Regex.parse "#" = Regex.Empty));
+    tc "parse precedence" (fun () ->
+        (* a+bc* parses as union of a with b-then-c-star *)
+        check_bool "prec" true
+          (Regex.parse "a+bc*"
+          = Regex.Alt (Regex.Chr 'a', Regex.Seq (Regex.Chr 'b', Regex.Star (Regex.Chr 'c')))));
+    tc "parse dots" (fun () ->
+        check_bool "dot concat" true (Regex.parse "a.b" = Regex.parse "ab"));
+    tc "parse errors" (fun () ->
+        List.iter
+          (fun bad ->
+            check_bool bad true
+              (try
+                 ignore (Regex.parse bad);
+                 false
+               with Failure _ -> true))
+          [ ""; "("; "a)"; "*a"; "a+" ]);
+    tc "print/parse round trip" (fun () ->
+        forall_seeded ~iters:200 (fun g seed ->
+            let r = Regex.random g sigma 4 in
+            let r' = Regex.parse (Regex.to_string r) in
+            (* not syntactically equal (printing flattens), but language
+               equal *)
+            let d1 = Dfa.of_regex sigma r and d2 = Dfa.of_regex sigma r' in
+            if not (Dfa.equal d1 d2) then
+              Alcotest.failf "seed %d: reparse changed the language of %s" seed
+                (Regex.to_string r)));
+    tc "nullable" (fun () ->
+        check_bool "eps" true (Regex.nullable (Regex.parse "~"));
+        check_bool "star" true (Regex.nullable (Regex.parse "a*"));
+        check_bool "chr" false (Regex.nullable (Regex.parse "a"));
+        check_bool "seq" false (Regex.nullable (Regex.parse "a*b")));
+    tc "power" (fun () ->
+        let r = Regex.power (Regex.Chr 'a') 3 in
+        check_bool "aaa" true (Regex.matches_naive r "aaa");
+        check_bool "aa" false (Regex.matches_naive r "aa"));
+  ]
+
+let matcher_tests =
+  [
+    tc "derivative matcher basics" (fun () ->
+        let r = Regex.parse "(ab+b)*" in
+        List.iter
+          (fun (w, e) -> check_bool w e (Regex.matches_naive r w))
+          [ ("", true); ("ab", true); ("bab", true); ("aab", false); ("abb", true) ]);
+    tc "nfa agrees with derivatives (exhaustive)" (fun () ->
+        let r = Regex.parse "(a+ba)*b*" in
+        let nfa = Nfa.of_regex r in
+        List.iter
+          (fun w ->
+            check_bool w (Regex.matches_naive r w) (Nfa.accepts nfa w))
+          (Strutil.all_strings_upto sigma 5));
+    tc "dfa agrees with derivatives (random regexes)" (fun () ->
+        forall_seeded ~iters:150 (fun g seed ->
+            let r = Regex.random g sigma 4 in
+            let dfa = Dfa.of_regex sigma r in
+            List.iter
+              (fun w ->
+                if Dfa.accepts dfa w <> Regex.matches_naive r w then
+                  Alcotest.failf "seed %d: %s disagrees on %S" seed
+                    (Regex.to_string r) w)
+              (Strutil.all_strings_upto sigma 4)));
+  ]
+
+let dfa_tests =
+  [
+    tc "minimize preserves language" (fun () ->
+        forall_seeded ~iters:100 (fun g seed ->
+            let r = Regex.random g sigma 4 in
+            let dfa = Dfa.of_regex sigma r in
+            let m = Dfa.minimize dfa in
+            (match Dfa.difference_witness dfa m with
+            | None -> ()
+            | Some w ->
+                Alcotest.failf "seed %d: minimize changed language at %S" seed w);
+            if Dfa.num_reachable m > Dfa.num_reachable dfa then
+              Alcotest.failf "seed %d: minimize grew the automaton" seed));
+    tc "minimize reaches the canonical size" (fun () ->
+        (* (a+b)*abb needs exactly 4 states minimal. *)
+        let m = Dfa.minimize (Dfa.of_regex sigma (Regex.parse "(a+b)*abb")) in
+        check_int "4 states" 4 m.Dfa.num_states);
+    tc "complement" (fun () ->
+        let d = Dfa.of_regex sigma (Regex.parse "a*") in
+        let c = Dfa.complement d in
+        List.iter
+          (fun w -> check_bool w (not (Dfa.accepts d w)) (Dfa.accepts c w))
+          (Strutil.all_strings_upto sigma 4));
+    tc "inter and union" (fun () ->
+        let d1 = Dfa.of_regex sigma (Regex.parse "a(a+b)*") in
+        let d2 = Dfa.of_regex sigma (Regex.parse "(a+b)*b") in
+        let i = Dfa.inter d1 d2 and u = Dfa.union d1 d2 in
+        List.iter
+          (fun w ->
+            check_bool ("inter " ^ w)
+              (Dfa.accepts d1 w && Dfa.accepts d2 w)
+              (Dfa.accepts i w);
+            check_bool ("union " ^ w)
+              (Dfa.accepts d1 w || Dfa.accepts d2 w)
+              (Dfa.accepts u w))
+          (Strutil.all_strings_upto sigma 4));
+    tc "emptiness and witnesses" (fun () ->
+        check_bool "empty" true (Dfa.is_empty (Dfa.of_regex sigma (Regex.parse "#")));
+        check_bool "nonempty" false (Dfa.is_empty (Dfa.of_regex sigma (Regex.parse "ab")));
+        check_bool "some word" true
+          (Dfa.some_word (Dfa.of_regex sigma (Regex.parse "aab+b")) = Some "b"));
+    tc "difference witness is shortest" (fun () ->
+        let d1 = Dfa.of_regex sigma (Regex.parse "a*") in
+        let d2 = Dfa.of_regex sigma (Regex.parse "a*+b") in
+        check_bool "witness b" true (Dfa.difference_witness d1 d2 = Some "b"));
+    tc "equal" (fun () ->
+        let d1 = Dfa.of_regex sigma (Regex.parse "(a+b)*") in
+        let d2 = Dfa.of_regex sigma (Regex.parse "(a*b*)*") in
+        check_bool "same language" true (Dfa.equal d1 d2));
+  ]
+
+let elimination_tests =
+  [
+    tc "regex_of_nfa round trip (random)" (fun () ->
+        forall_seeded ~iters:100 (fun g seed ->
+            let r = Regex.random g sigma 3 in
+            let nfa = Nfa.of_regex r in
+            let r' = Regex_of_nfa.convert nfa in
+            let d1 = Dfa.of_regex sigma r and d2 = Dfa.of_regex sigma r' in
+            match Dfa.difference_witness d1 d2 with
+            | None -> ()
+            | Some w ->
+                Alcotest.failf "seed %d: elimination of %s differs at %S" seed
+                  (Regex.to_string r) w));
+    tc "path expression of a two-state cycle" (fun () ->
+        (* start -a-> 1, 1 -b-> start, start final: (ab)* *)
+        let nfa =
+          {
+            Nfa.num_states = 2;
+            start = 0;
+            finals = [ 0 ];
+            edges = [ (0, Some 'a', 1); (1, Some 'b', 0) ];
+          }
+        in
+        let r = Regex_of_nfa.convert nfa in
+        let d = Dfa.of_regex sigma r in
+        List.iter
+          (fun w ->
+            let expect = String.length w mod 2 = 0
+                         && Strutil.is_manifold w "ab" || w = "" in
+            check_bool w expect (Dfa.accepts d w))
+          (Strutil.all_strings_upto sigma 4));
+  ]
+
+let suites =
+  [
+    ("automata.regex", parse_print_tests);
+    ("automata.match", matcher_tests);
+    ("automata.dfa", dfa_tests);
+    ("automata.elimination", elimination_tests);
+  ]

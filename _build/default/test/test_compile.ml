@@ -1,0 +1,335 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+(* --- Theorem 3.1: every Section 2 example means what the prose says ------ *)
+
+let q1_literal () =
+  check_formula_against "literal abc" Alphabet.abc [ "x" ]
+    (Combinators.literal "x" "abc")
+    (function [ x ] -> x = "abc" | _ -> false)
+    ~max_len:4;
+  check_formula_against "literal eps" b [ "x" ]
+    (Combinators.literal "x" "")
+    (function [ x ] -> x = "" | _ -> false)
+    ~max_len:2
+
+let q2_equal () =
+  check_formula_against "equal_s" b [ "x"; "y" ]
+    (Combinators.equal_s "x" "y")
+    (function [ x; y ] -> x = y | _ -> false)
+    ~max_len:3
+
+let q3_concat () =
+  check_formula_against "concat3" b [ "x"; "y"; "z" ]
+    (Combinators.concat3 "x" "y" "z")
+    (function [ x; y; z ] -> x = y ^ z | _ -> false)
+    ~max_len:2
+
+let q4_manifold () =
+  check_formula_against "manifold" b [ "x"; "y" ]
+    (Combinators.manifold "x" "y")
+    (function [ x; y ] -> Strutil.is_manifold x y | _ -> false)
+    ~max_len:3
+
+let q5_shuffle () =
+  check_formula_against "shuffle3" b [ "x"; "y"; "z" ]
+    (Combinators.shuffle3 "x" "y" "z")
+    (function [ x; y; z ] -> Strutil.is_shuffle x y z | _ -> false)
+    ~max_len:2
+
+let q6_regex () =
+  (* the paper's (gc+a)* over DNA *)
+  let r = Regex.parse "(gc+a)*" in
+  let reference = function
+    | [ x ] -> Regex.matches_naive r x
+    | _ -> false
+  in
+  check_formula_against "(gc+a)*" Alphabet.dna [ "x" ]
+    (Combinators.regex_match "x" r)
+    reference ~max_len:3
+
+let q7_occurs () =
+  check_formula_against "occurs_in" b [ "x"; "y" ]
+    (Combinators.occurs_in "x" "y")
+    (function [ x; y ] -> Strutil.is_substring x y | _ -> false)
+    ~max_len:3
+
+let q8_edit_distance () =
+  List.iter
+    (fun k ->
+      check_formula_against
+        (Printf.sprintf "edit_distance<=%d" k)
+        b [ "x"; "y" ]
+        (Combinators.edit_distance_le "x" "y" k)
+        (function
+          | [ x; y ] -> Edit_distance.distance x y <= k
+          | _ -> false)
+        ~max_len:2)
+    [ 0; 1; 2 ]
+
+let q8_counter () =
+  (* (u,v,a^j) accepted iff some edit script of u->v has j steps; the
+     shortest j is the distance, and every j between the distance and
+     reachable lengths shows up. *)
+  let fsa =
+    Compile.compile b ~vars:[ "x"; "y"; "z" ]
+      (Combinators.edit_distance_counter "x" "y" "z" 'a')
+  in
+  List.iter
+    (fun (u, v) ->
+      let outs = Generate.outputs fsa ~inputs:[ u; v ] ~max_len:6 in
+      let lengths =
+        List.filter_map
+          (function
+            | [ c ] when String.for_all (fun ch -> ch = 'a') c ->
+                Some (String.length c)
+            | _ -> None)
+          outs
+      in
+      check_bool "some counter exists" true (lengths <> []);
+      check_int
+        (Printf.sprintf "shortest counter for (%s,%s)" u v)
+        (Edit_distance.distance u v)
+        (List.fold_left min max_int lengths))
+    [ ("ab", "ab"); ("ab", "ba"); ("", "ab"); ("aab", "b"); ("ab", "bb") ]
+
+let q9_axbxa () =
+  (* x = aXbXa where y = z = X (the caller ties y =s z relationally). *)
+  let reference = function
+    | [ x; y; z ] ->
+        y = z && x = "a" ^ y ^ "b" ^ z ^ "a"
+    | _ -> false
+  in
+  let phi =
+    Sformula.seq
+      [
+        Combinators.equal_s "y" "z";
+        Combinators.suffix_rewind [ "y"; "z" ];
+        Combinators.axbxa "x" "y" "z" 'a' 'b';
+      ]
+  in
+  check_formula_against "axbxa" b [ "x"; "y"; "z" ] phi reference ~max_len:2;
+  (* and with longer planted instances *)
+  let fsa =
+    Compile.compile b ~vars:[ "x"; "y"; "z" ]
+      (Sformula.seq
+         [
+           Combinators.equal_s "y" "z";
+           Combinators.suffix_rewind [ "y"; "z" ];
+           Combinators.axbxa "x" "y" "z" 'a' 'b';
+         ])
+  in
+  List.iter
+    (fun w ->
+      check_bool ("planted " ^ w) true
+        (Run.accepts fsa [ "a" ^ w ^ "b" ^ w ^ "a"; w; w ]))
+    [ "ab"; "ba"; "aabb" ]
+
+let q10_equal_count () =
+  let counting, same_length = Combinators.equal_count_parts "x" "y" "z" 'a' 'b' in
+  let phi =
+    Sformula.seq [ counting; Combinators.rewind_each [ "y"; "z" ]; same_length ]
+  in
+  let reference = function
+    | [ x; y; z ] ->
+        String.for_all (fun c -> c = 'a' || c = 'b') x
+        && Strutil.count_char 'a' x = String.length y
+        && Strutil.count_char 'b' x = String.length z
+        && String.length y = String.length z
+    | _ -> false
+  in
+  check_formula_against "equal_count" b [ "x"; "y"; "z" ] phi reference ~max_len:2
+
+let q11_anbncn () =
+  check_formula_against "anbncn" Alphabet.abc [ "x"; "y" ]
+    (Combinators.anbncn "x" "y")
+    (function
+      | [ x; y ] ->
+          let n = String.length y in
+          x = Strutil.repeat "a" n ^ Strutil.repeat "b" n ^ Strutil.repeat "c" n
+      | _ -> false)
+    ~max_len:3
+
+let q12_translation () =
+  let split, translated =
+    Combinators.translation_halves_parts "x" "y" "z" [ ('a', 'b'); ('b', 'a') ]
+  in
+  let phi =
+    Sformula.seq
+      [ split; Combinators.rewind_each [ "y"; "z" ]; translated ]
+  in
+  let translate = String.map (function 'a' -> 'b' | _ -> 'a') in
+  let reference = function
+    | [ x; y; z ] -> x = y ^ z && z = translate y
+    | _ -> false
+  in
+  check_formula_against "translation_halves" b [ "x"; "y"; "z" ] phi reference
+    ~max_len:2
+
+let prefix_tests () =
+  check_formula_against "prefix" b [ "x"; "y" ]
+    (Combinators.prefix "x" "y")
+    (function [ x; y ] -> Strutil.is_prefix x y | _ -> false)
+    ~max_len:3;
+  check_formula_against "proper_prefix" b [ "x"; "y" ]
+    (Combinators.proper_prefix "x" "y")
+    (function [ x; y ] -> Strutil.is_prefix x y && x <> y | _ -> false)
+    ~max_len:3
+
+let extra_combinator_tests () =
+  check_formula_against "suffix" b [ "x"; "y" ]
+    (Combinators.suffix "x" "y")
+    (function [ x; y ] -> Strutil.is_suffix x y | _ -> false)
+    ~max_len:3;
+  check_formula_against "subsequence" b [ "x"; "y" ]
+    (Combinators.subsequence "x" "y")
+    (function [ x; y ] -> Strutil.is_subsequence x y | _ -> false)
+    ~max_len:3;
+  check_formula_against "reverse_of" b [ "x"; "y" ]
+    (Combinators.reverse_of "x" "y")
+    (function [ x; y ] -> x = Strutil.reverse y | _ -> false)
+    ~max_len:3;
+  (* reversal is the paper's canonical "needs database-dependent limits"
+     operation: y limits x (and vice versa), with y bidirectional. *)
+  let fsa = Compile.compile b ~vars:[ "y"; "x" ] (Combinators.reverse_of "x" "y") in
+  check_bool "y limits x" true (Limitation.limits fsa ~inputs:[ 0 ] ~outputs:[ 1 ])
+
+(* --- Figure 6: the concatenation formula and its 3-FSA ------------------- *)
+
+let fig6 () =
+  (* Fig. 6 shows the string formula for "x1 is the concatenation of x2 and
+     x3" and a corresponding 3-FSA over Σ = {a,b}. *)
+  let phi = Combinators.concat3 "x1" "x2" "x3" in
+  let fsa = Compile.compile b ~vars:[ "x1"; "x2"; "x3" ] phi in
+  check_bool "unidirectional" true (Fsa.bidirectional_tapes fsa = []);
+  (* Spot checks from the figure's language. *)
+  List.iter
+    (fun (x, y, z, e) -> check_bool (x ^ "=" ^ y ^ "·" ^ z) e (Run.accepts fsa [ x; y; z ]))
+    [
+      ("ab", "a", "b", true);
+      ("ab", "ab", "", true);
+      ("ab", "", "ab", true);
+      ("ab", "b", "a", false);
+      ("", "", "", true);
+      ("aba", "ab", "a", true);
+    ];
+  (* and the limitation facts the Section 4 example uses: {x2,x3} ⤳ {x1}. *)
+  let fsa_oriented = Compile.compile b ~vars:[ "x2"; "x3"; "x1" ] phi in
+  check_bool "y,z limit x" true
+    (Limitation.limits fsa_oriented ~inputs:[ 0; 1 ] ~outputs:[ 2 ])
+
+(* --- structural properties of Theorem 3.1 -------------------------------- *)
+
+let normal_form () =
+  let formulas =
+    [
+      ("equal_s", [ "x"; "y" ], Combinators.equal_s "x" "y");
+      ("manifold", [ "x"; "y" ], Combinators.manifold "x" "y");
+      ("concat3", [ "x"; "y"; "z" ], Combinators.concat3 "x" "y" "z");
+      ("occurs_in", [ "x"; "y" ], Combinators.occurs_in "x" "y");
+      ("anbncn", [ "x"; "y" ], Combinators.anbncn "x" "y");
+    ]
+  in
+  List.iter
+    (fun (name, vars, phi) ->
+      let sigma = if name = "anbncn" then Alphabet.abc else b in
+      let fsa = Compile.compile sigma ~vars phi in
+      (match Limitation.normal_form_errors fsa with
+      | [] -> ()
+      | errs -> Alcotest.failf "%s: normal form violated: %s" name (String.concat "; " errs));
+      (* property 1: tapes bidirectional only if the variable is *)
+      let bidi_vars = Sformula.bidirectional_vars phi in
+      List.iteri
+        (fun i v ->
+          if Fsa.tape_bidirectional fsa i && not (List.mem v bidi_vars) then
+            Alcotest.failf "%s: tape %d bidirectional but %s is not" name i v)
+        vars)
+    formulas
+
+let variable_order_independence () =
+  (* L(A) must not depend on the tape order beyond column permutation. *)
+  let phi = Combinators.concat3 "x" "y" "z" in
+  let f1 = Compile.compile b ~vars:[ "x"; "y"; "z" ] phi in
+  let f2 = Compile.compile b ~vars:[ "z"; "x"; "y" ] phi in
+  List.iter
+    (fun tup ->
+      match tup with
+      | [ x; y; z ] ->
+          check_bool "permuted agree"
+            (Run.accepts f1 [ x; y; z ])
+            (Run.accepts f2 [ z; x; y ])
+      | _ -> ())
+    (all_tuples b ~arity:3 ~max_len:2)
+
+let extra_tape () =
+  (* Compiling with an extra never-mentioned variable adds a free column. *)
+  let phi = Combinators.equal_s "x" "y" in
+  let fsa = Compile.compile b ~vars:[ "x"; "y"; "w" ] phi in
+  List.iter
+    (fun w ->
+      check_bool ("free column " ^ w) true (Run.accepts fsa [ "ab"; "ab"; w ]);
+      check_bool ("free column neg " ^ w) false (Run.accepts fsa [ "ab"; "b"; w ]))
+    [ ""; "a"; "bb" ]
+
+let missing_variable () =
+  check_bool "raises" true
+    (try
+       ignore (Compile.compile b ~vars:[ "x" ] (Combinators.equal_s "x" "y"));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- random formulae: compiled FSA ≡ naive semantics --------------------- *)
+
+let random_agreement ~allow_right ~iters name =
+  tc name (fun () ->
+      forall_seeded ~iters (fun g seed ->
+          let vars = [ "x"; "y" ] in
+          let phi = random_sformula ~allow_right g b vars 3 in
+          let fsa = Compile.compile b ~vars phi in
+          List.iter
+            (fun tup ->
+              let naive = Naive.holds phi (List.combine vars tup) in
+              let auto = Run.accepts fsa tup in
+              if naive <> auto then
+                Alcotest.failf "seed %d: naive %b vs FSA %b on (%s) for %s" seed
+                  naive auto (String.concat "," tup)
+                  (Sformula.to_string phi))
+            (all_tuples b ~arity:2 ~max_len:2)))
+
+let suites =
+  [
+    ( "compile.examples",
+      [
+        tc "Q1 literal" q1_literal;
+        tc "Q2 equal_s" q2_equal;
+        tc "Q3 concat" q3_concat;
+        tc "Q4 manifold" q4_manifold;
+        tc "Q5 shuffle" q5_shuffle;
+        tc "Q6 regex" q6_regex;
+        tc "Q7 occurs_in" q7_occurs;
+        slow_tc "Q8 edit distance" q8_edit_distance;
+        tc "Q8 counter variant" q8_counter;
+        tc "Q9 aXbXa" q9_axbxa;
+        tc "Q10 equal counts" q10_equal_count;
+        tc "Q11 anbncn" q11_anbncn;
+        tc "Q12 translation halves" q12_translation;
+        tc "prefix and proper prefix" prefix_tests;
+        slow_tc "suffix, subsequence, reverse" extra_combinator_tests;
+      ] );
+    ( "compile.fig6",
+      [ tc "figure 6 concatenation FSA" fig6 ] );
+    ( "compile.structure",
+      [
+        tc "normal form (properties 2-4)" normal_form;
+        tc "tape order independence" variable_order_independence;
+        tc "unconstrained extra tape" extra_tape;
+        tc "missing variable rejected" missing_variable;
+      ] );
+    ( "compile.random",
+      [
+        random_agreement ~allow_right:false ~iters:120 "unidirectional formulae";
+        random_agreement ~allow_right:true ~iters:120 "bidirectional formulae";
+      ] );
+  ]

@@ -1,0 +1,416 @@
+open Strdb
+open Helpers
+
+(* The a^n b^n c^n grammar used across the encoding tests. *)
+let g_abc =
+  {
+    Grammar.start = 'S';
+    rules = [ ("S", "aBSc"); ("S", "aBc"); ("Ba", "aB"); ("Bb", "bb"); ("Bc", "bc") ];
+  }
+
+let grammar_tests =
+  [
+    tc "validate rejects empty lhs and separator clashes" (fun () ->
+        check_bool "empty lhs" true
+          (try
+             Grammar.validate { Grammar.start = 'S'; rules = [ ("", "a") ] };
+             false
+           with Grammar.Bad_grammar _ -> true);
+        check_bool "separator clash" true
+          (try
+             Grammar.validate ~separator:'a' g_abc;
+             false
+           with Grammar.Bad_grammar _ -> true));
+    tc "step applies rules at every site" (fun () ->
+        let g = { Grammar.start = 'S'; rules = [ ("ab", "X") ] } in
+        check_string_list "both sites" [ "Xab"; "abX" ] (Grammar.step g "abab"));
+    tc "derives the right language" (fun () ->
+        List.iter
+          (fun (w, e) -> check_bool w e (Grammar.derives g_abc w))
+          [
+            ("abc", true); ("aabbcc", true); ("aaabbbccc", true);
+            ("ab", false); ("aabbc", false); ("", false); ("cba", false);
+          ]);
+    tc "derivation_to produces a checkable derivation" (fun () ->
+        match Grammar.derivation_to g_abc "aabbcc" with
+        | None -> Alcotest.fail "expected a derivation"
+        | Some deriv ->
+            check_bool "starts at the target" true (List.hd deriv = "aabbcc");
+            check_bool "ends at S" true
+              (List.nth deriv (List.length deriv - 1) = "S");
+            (* each v_{i+1} => v_i *)
+            let rec ok = function
+              | v :: (v' :: _ as rest) ->
+                  check_bool "one step" true (List.mem v (Grammar.step g_abc v'));
+                  ok rest
+              | _ -> ()
+            in
+            ok deriv);
+    slow_tc "φ_G accepts exactly the derivation encodings (Theorem 5.1)" (fun () ->
+        let sigma = Grammar.alphabet g_abc in
+        let phi = Grammar.formula g_abc ~x1:"x1" ~x2:"x2" ~x3:"x3" in
+        check_bool "x1 unidirectional, x2 x3 bidirectional" true
+          (Sformula.bidirectional_vars phi = [ "x2"; "x3" ]);
+        let fsa = Compile.compile sigma ~vars:[ "x1"; "x2"; "x3" ] phi in
+        List.iter
+          (fun w ->
+            match Grammar.derivation_to g_abc w with
+            | None -> Alcotest.failf "no derivation for %s" w
+            | Some deriv ->
+                let enc = Grammar.encode deriv in
+                check_bool ("accepts " ^ enc) true (Run.accepts fsa [ w; enc; enc ]))
+          [ "abc"; "aabbcc" ];
+        (* rejection cases *)
+        let enc = Grammar.encode (Option.get (Grammar.derivation_to g_abc "abc")) in
+        check_bool "wrong u" false (Run.accepts fsa [ "ab"; enc; enc ]);
+        check_bool "mismatched copies" false (Run.accepts fsa [ "abc"; enc; enc ^ ">S" ]);
+        check_bool "skipped step" false
+          (Run.accepts fsa [ "abc"; "abc>S"; "abc>S" ]);
+        check_bool "non-derivation" false
+          (Run.accepts fsa [ "abc"; "abc>abc>S"; "abc>abc>S" ]));
+    slow_tc "∃x2x3 φ_G defines L(G) (Theorem 6.2, bounded search)" (fun () ->
+        let sigma = Grammar.alphabet g_abc in
+        let phi = Grammar.formula g_abc ~x1:"x1" ~x2:"x2" ~x3:"x3" in
+        let fsa = Compile.compile sigma ~vars:[ "x1"; "x2"; "x3" ] phi in
+        (* For small u, search witnesses by bounded generation.  The bound
+           is tight: the derivation encoding for a^n b^n c^n grows ~2·|u|,
+           and the search space is exponential in the bound (this is a
+           semidecision procedure for an r.e. language — Theorem 6.2's
+           whole point). *)
+        List.iter
+          (fun (w, expect) ->
+            let spec = Specialize.specialize fsa [ w ] in
+            let found =
+              not (Generate.is_empty_upto spec ~max_len:(2 * (String.length w + 2)))
+            in
+            check_bool w expect found)
+          [ ("abc", true); ("ab", false); ("ac", false) ]);
+    slow_tc "Corollary 6.1: conjunction of unidirectional formulae" (fun () ->
+        (* The rewind (C) can be replaced by a relational ∧, with both
+           conjuncts unidirectional and the second free of x₁. *)
+        let phi1, phi2 = Grammar.formula_parts g_abc ~x1:"x1" ~x2:"x2" ~x3:"x3" in
+        check_bool "φ(1) unidirectional" true (Sformula.is_unidirectional phi1);
+        check_bool "φ(2) unidirectional" true (Sformula.is_unidirectional phi2);
+        check_bool "φ(2) avoids x1" true
+          (not (List.mem "x1" (Sformula.vars phi2)));
+        let sigma = Grammar.alphabet g_abc in
+        let conj = Formula.And (Formula.Str phi1, Formula.Str phi2) in
+        let whole = Grammar.formula g_abc ~x1:"x1" ~x2:"x2" ~x3:"x3" in
+        let fsa = Compile.compile sigma ~vars:[ "x1"; "x2"; "x3" ] whole in
+        let checker = Formula.compiled_checker sigma in
+        let eval_conj x1 enc =
+          Formula.eval ~checker sigma Database.empty ~max_len:0
+            [ ("x1", x1); ("x2", enc); ("x3", enc) ]
+            conj
+        in
+        List.iter
+          (fun w ->
+            let enc = Grammar.encode (Option.get (Grammar.derivation_to g_abc w)) in
+            check_bool ("conjunctive accepts " ^ w) true (eval_conj w enc);
+            check_bool ("agrees with rewind form " ^ w)
+              (Run.accepts fsa [ w; enc; enc ])
+              (eval_conj w enc))
+          [ "abc"; "aabbcc" ];
+        (* corrupted encodings rejected by both *)
+        let enc = Grammar.encode [ "abc"; "aBc"; "S"; "S" ] in
+        check_bool "conjunctive rejects corrupt" false (eval_conj "abc" enc);
+        check_bool "rewind rejects corrupt" false (Run.accepts fsa [ "abc"; enc; enc ]));
+  ]
+
+let turing_tests =
+  [
+    tc "simulator accepts its language" (fun () ->
+        (* TM accepting strings over {a,b} containing only a's, by scanning
+           right to the blank. *)
+        let tm =
+          {
+            Turing.states = [ 'q'; 'f' ];
+            start = 'q';
+            accept = 'f';
+            input_alphabet = [ 'a'; 'b' ];
+            tape_alphabet = [ 'a'; 'b'; '_' ];
+            blank = '_';
+            delta = [ ('q', 'a', 'q', 'a', Turing.R); ('q', '_', 'f', '_', Turing.R) ];
+          }
+        in
+        List.iter
+          (fun (w, e) -> check_bool w e (Turing.accepts tm w))
+          [ ("", true); ("aaa", true); ("ab", false); ("ba", false) ]);
+    tc "validate catches inconsistencies" (fun () ->
+        let bad m =
+          try
+            Turing.validate m;
+            false
+          with Turing.Bad_machine _ -> true
+        in
+        check_bool "blank in input" true
+          (bad
+             {
+               Turing.states = [ 'q' ]; start = 'q'; accept = 'q';
+               input_alphabet = [ '_' ]; tape_alphabet = [ '_' ]; blank = '_';
+               delta = [];
+             }));
+    slow_tc "backward grammar derives exactly the partial-computation inputs" (fun () ->
+        (* the same all-a's machine; its grammar derives every input string
+           (0-step computations exist), and the derivation count grows with
+           longer computations. *)
+        let tm =
+          {
+            Turing.states = [ 'q'; 'f' ];
+            start = 'q';
+            accept = 'f';
+            input_alphabet = [ 'a'; 'b' ];
+            tape_alphabet = [ 'a'; 'b'; '_' ];
+            blank = '_';
+            delta = [ ('q', 'a', 'q', 'a', Turing.R); ('q', '_', 'f', '_', Turing.R) ];
+          }
+        in
+        let g = Turing.to_grammar tm ~left_end:'<' ~frontier:'%' ~snippet:'T' ~eraser:'F' in
+        List.iter
+          (fun w -> check_bool w true (Grammar.derives g ~max_len:(String.length w + 10) w))
+          [ "a"; "ab"; "ba" ];
+        (* sanity: the grammar only produces input-alphabet strings *)
+        check_bool "no stray symbols" true
+          (not (Grammar.derives g ~max_len:8 ~max_steps:30_000 "<")));
+  ]
+
+let lba_tests =
+  [
+    tc "anbn simulator" (fun () ->
+        List.iter
+          (fun (w, e) -> check_bool w e (Lba.accepts Lba.anbn w))
+          [
+            ("ab", true); ("aabb", true); ("aaabbb", true);
+            ("ba", false); ("aab", false); ("abb", false); ("", false);
+          ]);
+    tc "accepting_run is a genuine run" (fun () ->
+        match Lba.accepting_run Lba.anbn "aabb" with
+        | None -> Alcotest.fail "expected a run"
+        | Some run ->
+            let q0, t0, h0 = List.hd run in
+            check_bool "initial" true (q0 = 's' && t0 = "aabb" && h0 = 1);
+            let qf, _, _ = List.nth run (List.length run - 1) in
+            check_bool "accepting" true (qf = 'f'));
+    slow_tc "Theorem 6.6 formula accepts real runs, rejects corrupted ones" (fun () ->
+        let m = Lba.anbn in
+        List.iter
+          (fun input ->
+            let phi = Lba.formula m ~input ~x:"x" in
+            check_bool "bidirectional single variable" true
+              (Sformula.vars phi = [ "x" ]
+              && Sformula.bidirectional_vars phi = [ "x" ]);
+            let sigma =
+              Alphabet.make
+                (m.Lba.states @ m.Lba.tape_alphabet
+                @ [ m.Lba.left_marker; m.Lba.right_marker ])
+            in
+            let fsa = Compile.compile sigma ~vars:[ "x" ] phi in
+            match Lba.accepting_run m input with
+            | None -> Alcotest.fail "expected accepting run"
+            | Some run ->
+                let enc = Lba.encode_run m run in
+                check_bool ("accepts run on " ^ input) true (Run.accepts fsa [ enc ]);
+                (* corrupt: drop the final configuration *)
+                let enc' =
+                  Lba.encode_run m (List.filteri (fun i _ -> i < List.length run - 1) run)
+                in
+                check_bool "rejects truncated run" false (Run.accepts fsa [ enc' ]);
+                (* corrupt: flip a character in the middle *)
+                let flip =
+                  String.mapi
+                    (fun i c -> if i = String.length enc / 2 then (if c = 'a' then 'b' else 'a') else c)
+                    enc
+                in
+                check_bool "rejects corrupted run" false (Run.accepts fsa [ flip ]))
+          [ "ab" ]);
+    slow_tc "Theorem 6.6 satisfiability search (tiny machines)" (fun () ->
+        (* The blind witness search is PSPACE-ish by nature (millions of
+           partially-committed configurations already for a^n b^n runs), so
+           the end-to-end satisfiability route runs on a one-step machine;
+           the a^n b^n formula is exercised by the run-encoding checks
+           above, which scale. *)
+        let tiny =
+          {
+            Lba.states = [ 's'; 'f' ];
+            start = 's';
+            accept = 'f';
+            tape_alphabet = [ 'a'; 'b' ];
+            left_marker = '<';
+            right_marker = '%';
+            delta = [ ('s', 'a', 'f', 'a', Lba.Stay) ];
+          }
+        in
+        check_bool "a accepted via strings" true
+          (Lba.accepts_via_strings ~max_blocks:2 tiny "a");
+        check_bool "b rejected via strings" false
+          (Lba.accepts_via_strings ~max_blocks:2 tiny "b");
+        check_bool "ba rejected via strings (anbn)" false
+          (Lba.accepts_via_strings ~max_blocks:2 Lba.anbn "ba"));
+  ]
+
+let qbf_tests =
+  [
+    tc "encode" (fun () ->
+        check_string "enc" "111;p1n11;p111"
+          (Qbf.encode ~nvars:3 [ [ 1; -2 ]; [ 3 ] ]));
+    tc "dpll referee on fixed instances" (fun () ->
+        List.iter
+          (fun (n, cnf) ->
+            check_bool
+              (Printf.sprintf "n=%d" n)
+              (Dpll.satisfiable cnf)
+              (Qbf.sat_via_strings ~nvars:n cnf))
+          [
+            (1, [ [ 1 ] ]);
+            (1, [ [ 1 ]; [ -1 ] ]);
+            (2, [ [ 1; 2 ]; [ -1; 2 ]; [ -2 ] ]);
+            (2, [ [ 1; 2 ]; [ -1; 2 ] ]);
+            (3, [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3 ]; [ -2; -3 ] ]);
+          ]);
+    slow_tc "random 3-CNF agrees with DPLL" (fun () ->
+        forall_seeded ~iters:30 (fun g seed ->
+            let nvars = 3 + Prng.int g 2 in
+            let clauses = 1 + Prng.int g 6 in
+            let cnf =
+              Workload.random_cnf ~seed:(seed * 13) ~vars:nvars ~clauses ~width:3
+            in
+            if Qbf.sat_via_strings ~nvars cnf <> Dpll.satisfiable cnf then
+              Alcotest.failf "seed %d: SAT via strings disagrees with DPLL" seed));
+    tc "assignment witnesses satisfy the formula" (fun () ->
+        let cnf = [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ] in
+        let nvars = 3 in
+        let enc = Qbf.encode ~nvars cnf in
+        let fsa =
+          Compile.compile Qbf.sigma ~vars:[ "x"; "y" ] (Qbf.check_formula ~x:"x" ~y:"y")
+        in
+        let outs = Generate.outputs fsa ~inputs:[ enc ] ~max_len:nvars in
+        check_bool "some witness" true (outs <> []);
+        List.iter
+          (fun t ->
+            match t with
+            | [ s ] ->
+                check_int "full length" nvars (String.length s);
+                check_bool ("witness " ^ s) true
+                  (Dpll.eval cnf
+                     (List.mapi (fun i c -> (i + 1, c = 'T')) (Strutil.explode s)))
+            | _ -> Alcotest.fail "arity")
+          outs;
+        (* count matches brute force *)
+        let brute =
+          List.length
+            (List.filter
+               (fun assign -> Dpll.eval cnf assign)
+               (List.map
+                  (fun s -> List.mapi (fun i c -> (i + 1, c = 'T')) (Strutil.explode s))
+                  (List.filter
+                     (fun s -> String.length s = nvars)
+                     (Strutil.all_strings_upto (Alphabet.of_string "TF") nvars))))
+        in
+        check_int "witness count" brute (List.length outs));
+    tc "taut via strings" (fun () ->
+        (* x1 ∨ ¬x1 as DNF terms {x1}, {¬x1} is a tautology *)
+        check_bool "taut" true (Qbf.taut_via_strings ~nvars:1 [ [ 1 ]; [ -1 ] ]);
+        check_bool "not taut" false (Qbf.taut_via_strings ~nvars:1 [ [ 1 ] ]));
+    tc "the Σᵖ₁ qualifier is certified limited" (fun () ->
+        let fsa =
+          Compile.compile Qbf.sigma ~vars:[ "x"; "y" ]
+            (Qbf.length_qualifier ~x:"x" ~y:"y")
+        in
+        check_bool "x limits y" true (Limitation.limits fsa ~inputs:[ 0 ] ~outputs:[ 1 ]));
+    slow_tc "Σᵖ₂ agrees with brute force" (fun () ->
+        forall_seeded ~iters:12 (fun g seed ->
+            let ny = 1 + Prng.int g 2 and nz = 1 + Prng.int g 2 in
+            let clauses = 1 + Prng.int g 4 in
+            let cnf =
+              Workload.random_cnf ~seed:(seed * 7) ~vars:(ny + nz) ~clauses ~width:2
+            in
+            if Qbf.sigma2_valid ~ny ~nz cnf <> Qbf.brute_force_sigma2 ~ny ~nz cnf then
+              Alcotest.failf "seed %d: Σᵖ₂ decision disagrees" seed));
+    slow_tc "k-level machinery agrees at k = 1, 2" (fun () ->
+        (* k = 3 works too but its 4-tape compilation takes ~1.5 minutes;
+           it runs in the bench harness instead. *)
+        List.iter
+          (fun (blocks, cnf) ->
+            check_bool
+              (Printf.sprintf "blocks [%s]"
+                 (String.concat ";" (List.map string_of_int blocks)))
+              (Qbf.brute_force_ph ~blocks cnf)
+              (Qbf.ph_valid ~blocks cnf))
+          [
+            ([ 2 ], [ [ 1; 2 ]; [ -1; -2 ] ]);
+            ([ 2 ], [ [ 1 ]; [ -1 ] ]);
+            ([ 1; 1 ], [ [ 1; 2 ]; [ 1; -2 ] ]);
+            ([ 1; 1 ], [ [ 2 ]; [ -2 ] ]);
+            ([ 1; 2 ], [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ]);
+          ]);
+  ]
+
+let regular_tests =
+  [
+    tc "Theorem 6.1 on fixed regexes" (fun () ->
+        let sigma = Alphabet.binary in
+        List.iter
+          (fun src ->
+            let r = Regex.parse src in
+            let phi = Regex_embed.matches "x" r in
+            check_bool (src ^ " equivalent") true
+              (Dfa.equal (Dfa.of_regex sigma r) (Regular.formula_to_dfa sigma "x" phi)))
+          [ "(ab+b)*"; "a*b*"; "~+ab"; "(a+b)*abb"; "#"; "a(a+b)*a+b"; "~"; "a**" ]);
+    slow_tc "Theorem 6.1 on random regexes (both directions)" (fun () ->
+        let sigma = Alphabet.binary in
+        forall_seeded ~iters:60 (fun g seed ->
+            let r = Regex.random g sigma 4 in
+            let phi = Regex_embed.matches "x" r in
+            let d_regex = Dfa.of_regex sigma r in
+            let d_formula = Regular.formula_to_dfa sigma "x" phi in
+            (match Dfa.difference_witness d_regex d_formula with
+            | None -> ()
+            | Some w ->
+                Alcotest.failf "seed %d: %s differs from its formula at %S" seed
+                  (Regex.to_string r) w);
+            (* and back out through state elimination *)
+            let r2 = Regular.formula_to_regex sigma "x" phi in
+            match Dfa.difference_witness d_regex (Dfa.of_regex sigma r2) with
+            | None -> ()
+            | Some w ->
+                Alcotest.failf "seed %d: extracted regex differs at %S" seed w));
+    tc "unidirectional formulae beyond single characters" (fun () ->
+        (* occurs_in specialised on a constant pattern is regular *)
+        let sigma = Alphabet.binary in
+        let phi =
+          Sformula.seq
+            [
+              Sformula.star (Sformula.left [ "x" ] Window.True);
+              Sformula.left [ "x" ] (Window.Is_char ("x", 'a'));
+              Sformula.left [ "x" ] (Window.Is_char ("x", 'b'));
+            ]
+        in
+        (* language: strings with "ab" somewhere (we never require the end) *)
+        let dfa = Regular.formula_to_dfa sigma "x" phi in
+        List.iter
+          (fun w -> check_bool w (Strutil.is_substring "ab" w) (Dfa.accepts dfa w))
+          (Strutil.all_strings_upto sigma 4));
+    tc "shape errors" (fun () ->
+        check_bool "bidirectional rejected" true
+          (try
+             ignore
+               (Regular.formula_to_regex Alphabet.binary "x"
+                  (Sformula.right [ "x" ] Window.True));
+             false
+           with Invalid_argument _ -> true);
+        check_bool "two variables rejected" true
+          (try
+             ignore
+               (Regular.formula_to_regex Alphabet.binary "x" (Combinators.equal_s "x" "y"));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let suites =
+  [
+    ("encodings.grammar", grammar_tests);
+    ("encodings.turing", turing_tests);
+    ("encodings.lba", lba_tests);
+    ("encodings.qbf", qbf_tests);
+    ("encodings.regular", regular_tests);
+  ]

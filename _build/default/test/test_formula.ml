@@ -1,0 +1,181 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+let db1 =
+  Database.of_list
+    [
+      ("r", [ [ "a"; "b" ]; [ "ab"; "ab" ]; [ "b"; "" ] ]);
+      ("s", [ [ "ab" ]; [ "b" ] ]);
+    ]
+
+let database_tests =
+  [
+    tc "schema errors" (fun () ->
+        check_bool "ragged" true
+          (try
+             ignore (Database.of_list [ ("r", [ [ "a" ]; [ "a"; "b" ] ]) ]);
+             false
+           with Database.Schema_error _ -> true);
+        check_bool "unknown" true
+          (try
+             ignore (Database.find db1 "nope");
+             false
+           with Database.Schema_error _ -> true));
+    tc "dedup and sort" (fun () ->
+        let db = Database.of_list [ ("r", [ [ "b" ]; [ "a" ]; [ "b" ] ]) ] in
+        check_tuples "sorted" [ [ "a" ]; [ "b" ] ] (Database.find db "r"));
+    tc "mem and arity" (fun () ->
+        check_bool "mem" true (Database.mem db1 "r" [ "a"; "b" ]);
+        check_bool "not mem" false (Database.mem db1 "r" [ "b"; "a" ]);
+        check_int "arity" 2 (Database.arity db1 "r"));
+    tc "max_string_length" (fun () ->
+        check_int "2" 2 (Database.max_string_length db1);
+        check_int "empty" 0 (Database.max_string_length Database.empty));
+    tc "relations listing" (fun () ->
+        check_bool "both" true (Database.relations db1 = [ ("r", 2); ("s", 1) ]));
+  ]
+
+let free_var_tests =
+  [
+    tc "free variables" (fun () ->
+        let phi =
+          Formula.Exists
+            ( "y",
+              Formula.And
+                ( Formula.Rel ("r", [ "x"; "y" ]),
+                  Formula.Str (Combinators.equal_s "y" "z") ) )
+        in
+        check_string_list "free" [ "x"; "z" ] (Formula.free_vars phi));
+    tc "is_pure" (fun () ->
+        check_bool "pure" true (Formula.is_pure (Formula.Str (Combinators.equal_s "x" "y")));
+        check_bool "impure" false (Formula.is_pure (Formula.Rel ("r", [ "x" ]))));
+    tc "relation symbols and arity clash" (fun () ->
+        let phi = Formula.And (Formula.Rel ("r", [ "x" ]), Formula.Rel ("r", [ "x"; "y" ])) in
+        check_bool "raises" true
+          (try
+             ignore (Formula.relation_symbols phi);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let eval_tests =
+  [
+    tc "relational atom with repeated variables" (fun () ->
+        (* r(x,x): only (ab,ab) qualifies. *)
+        let phi = Formula.Rel ("r", [ "x"; "x" ]) in
+        check_tuples "answers" [ [ "ab" ] ]
+          (Formula.answers b db1 ~max_len:2 ~free:[ "x" ] phi));
+    tc "conjunction and string atom" (fun () ->
+        let phi =
+          Formula.And
+            (Formula.Rel ("r", [ "x"; "y" ]), Formula.Str (Combinators.prefix "x" "y"))
+        in
+        check_tuples "answers" [ [ "ab"; "ab" ] ]
+          (Formula.answers b db1 ~max_len:2 ~free:[ "x"; "y" ] phi));
+    tc "negation" (fun () ->
+        let phi =
+          Formula.And
+            ( Formula.Rel ("s", [ "x" ]),
+              Formula.Not (Formula.Str (Combinators.literal "x" "b")) )
+        in
+        check_tuples "answers" [ [ "ab" ] ]
+          (Formula.answers b db1 ~max_len:2 ~free:[ "x" ] phi));
+    tc "existential witnesses range over the truncated domain" (fun () ->
+        let phi =
+          Formula.Exists
+            ( "x",
+              Formula.And
+                (Formula.Rel ("s", [ "x" ]), Formula.Str (Combinators.proper_prefix "y" "x"))
+            )
+        in
+        (* At cutoff 1 the witness "ab" is outside the domain, so only the
+           proper prefixes of "b" remain — the truncation is semantic, not
+           just about answers. *)
+        check_tuples "cutoff 1" [ [ "" ] ]
+          (Formula.answers b db1 ~max_len:1 ~free:[ "y" ] phi);
+        check_tuples "cutoff 2" [ [ "" ]; [ "a" ] ]
+          (Formula.answers b db1 ~max_len:2 ~free:[ "y" ] phi));
+    tc "forall is derived correctly" (fun () ->
+        (* ∀x. s(x) → |x| >= 1 : true (both tuples nonempty) so the 0-ary
+           query returns the empty tuple *)
+        let nonempty x =
+          Formula.Str
+            (Sformula.seq
+               [ Sformula.left [ x ] (Window.is_not_empty x);
+                 Sformula.star (Sformula.left [ x ] Window.True) ])
+        in
+        let phi = Formula.forall "x" (Formula.implies (Formula.Rel ("s", [ "x" ])) (nonempty "x")) in
+        check_tuples "valid" [ [] ] (Formula.answers b db1 ~max_len:2 ~free:[] phi));
+    tc "or is derived correctly" (fun () ->
+        let phi =
+          Formula.And
+            ( Formula.Rel ("s", [ "x" ]),
+              Formula.or_
+                (Formula.Str (Combinators.literal "x" "b"))
+                (Formula.Str (Combinators.literal "x" "ab")) )
+        in
+        check_tuples "both" [ [ "ab" ]; [ "b" ] ]
+          (Formula.answers b db1 ~max_len:2 ~free:[ "x" ] phi));
+    tc "compiled checker agrees with naive checker" (fun () ->
+        forall_seeded ~iters:60 (fun g seed ->
+            let vars = [ "x"; "y" ] in
+            let phi = random_sformula ~allow_right:true g b vars 2 in
+            let compiled = Formula.compiled_checker b in
+            List.iter
+              (fun tup ->
+                let bind = List.combine vars tup in
+                if Formula.naive_checker phi bind <> compiled phi bind then
+                  Alcotest.failf "seed %d: checkers disagree on %s" seed
+                    (Sformula.to_string phi))
+              (all_tuples b ~arity:2 ~max_len:2)));
+    tc "unbound variable raises" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Formula.eval b db1 ~max_len:1 [] (Formula.Rel ("s", [ "x" ])));
+             false
+           with Invalid_argument _ -> true));
+    tc "answers validates the free list" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Formula.answers b db1 ~max_len:1 ~free:[ "x"; "y" ]
+                  (Formula.Rel ("s", [ "x" ])));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let truncation_tests =
+  [
+    tc "answers are monotone in the cutoff for positive queries" (fun () ->
+        let phi =
+          Formula.And
+            (Formula.Rel ("r", [ "x"; "y" ]), Formula.Str (Combinators.prefix "y" "x"))
+        in
+        let a1 = Formula.answers b db1 ~max_len:1 ~free:[ "x"; "y" ] phi in
+        let a2 = Formula.answers b db1 ~max_len:2 ~free:[ "x"; "y" ] phi in
+        List.iter (fun t -> check_bool "subset" true (List.mem t a2)) a1);
+    tc "domain-independent query stabilises at its limit" (fun () ->
+        (* concatenation query: stable from cutoff = 2·maxlen… compare two
+           successive cutoffs beyond the limit *)
+        let phi =
+          Formula.exists_many [ "y"; "z" ]
+            (Formula.and_list
+               [
+                 Formula.Rel ("r", [ "y"; "z" ]);
+                 Formula.Str (Combinators.concat3 "x" "y" "z");
+               ])
+        in
+        let a4 = Formula.answers b db1 ~max_len:4 ~free:[ "x" ] phi in
+        let a5 = Formula.answers b db1 ~max_len:5 ~free:[ "x" ] phi in
+        check_tuples "stable" a4 a5);
+  ]
+
+let suites =
+  [
+    ("formula.database", database_tests);
+    ("formula.vars", free_var_tests);
+    ("formula.eval", eval_tests);
+    ("formula.truncation", truncation_tests);
+  ]

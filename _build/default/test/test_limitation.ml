@@ -1,0 +1,291 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+let analyze_verdict phi vars ~inputs ~outputs =
+  let sigma = b in
+  let fsa = Compile.compile sigma ~vars phi in
+  Limitation.analyze fsa ~inputs ~outputs
+
+let expect_limited name phi vars ~inputs ~outputs =
+  tc name (fun () ->
+      match analyze_verdict phi vars ~inputs ~outputs with
+      | Ok (Limitation.Limited _) -> ()
+      | Ok (Limitation.Unlimited r) -> Alcotest.failf "expected limited, got unlimited: %s" r
+      | Error e -> Alcotest.failf "analysis error: %s" e)
+
+let expect_unlimited name phi vars ~inputs ~outputs =
+  tc name (fun () ->
+      match analyze_verdict phi vars ~inputs ~outputs with
+      | Ok (Limitation.Unlimited _) -> ()
+      | Ok (Limitation.Limited bnd) ->
+          Alcotest.failf "expected unlimited, got limited with W = %s" bnd.Limitation.formula
+      | Error e -> Alcotest.failf "analysis error: %s" e)
+
+(* The verdicts below include the paper's own motivating pair (Section 5):
+   "x ∈*ₛ y" limits y by x, while nothing limits the manifold itself. *)
+let verdict_tests =
+  [
+    (* unidirectional cases *)
+    expect_limited "equal_s: x limits y" (Combinators.equal_s "x" "y")
+      [ "x"; "y" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_limited "concat3: y,z limit x" (Combinators.concat3 "x" "y" "z")
+      [ "y"; "z"; "x" ] ~inputs:[ 0; 1 ] ~outputs:[ 2 ];
+    expect_unlimited "occurs_in: x does not limit y"
+      (Combinators.occurs_in "x" "y")
+      [ "x"; "y" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_limited "occurs_in: y limits x" (Combinators.occurs_in "x" "y")
+      [ "y"; "x" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_limited "concat3: x limits y and z" (Combinators.concat3 "x" "y" "z")
+      [ "x"; "y"; "z" ] ~inputs:[ 0 ] ~outputs:[ 1; 2 ];
+    expect_unlimited "proper_prefix: x does not limit y"
+      (Combinators.proper_prefix "x" "y")
+      [ "x"; "y" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_limited "prefix: y limits x" (Combinators.prefix "x" "y")
+      [ "y"; "x" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_unlimited "nothing limits a free generator"
+      (Sformula.seq
+         [ Sformula.star (Sformula.left [ "y" ] Window.True);
+           Sformula.left [ "y" ] (Window.Is_empty "y") ])
+      [ "x"; "y" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_limited "literal output is constant-bounded"
+      (Combinators.literal "y" "ab") [ "x"; "y" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    (* right-restricted cases (Theorem 5.2's decidable class) *)
+    expect_limited "manifold: x limits bidirectional y"
+      (Combinators.manifold "x" "y") [ "x"; "y" ] ~inputs:[ 0 ] ~outputs:[ 1 ];
+    expect_unlimited "manifold: y does not limit x (Fig. 9 loop)"
+      (Combinators.manifold "x" "y") [ "x"; "y" ] ~inputs:[ 1 ] ~outputs:[ 0 ];
+    expect_limited "equal-count parts: x limits both counters"
+      (fst (Combinators.equal_count_parts "x" "y" "z" 'a' 'b'))
+      [ "x"; "y"; "z" ] ~inputs:[ 0 ] ~outputs:[ 1; 2 ];
+  ]
+
+let bound_soundness_tests =
+  [
+    slow_tc "declared bounds dominate generated outputs" (fun () ->
+        (* For several limited formulae, enumerate outputs and check that
+           every generated string respects the declared limit function. *)
+        let cases =
+          [
+            ("equal_s", Combinators.equal_s "x" "y", [ "x"; "y" ]);
+            ("concat yz->x", Combinators.concat3 "x" "y" "z", [ "y"; "z"; "x" ]);
+            ("manifold", Combinators.manifold "x" "y", [ "x"; "y" ]);
+          ]
+        in
+        List.iter
+          (fun (name, phi, vars) ->
+            let fsa = Compile.compile b ~vars phi in
+            let n_out = 1 in
+            let n_in = List.length vars - n_out in
+            let inputs = List.init n_in (fun i -> i) in
+            let outputs = [ n_in ] in
+            match Limitation.analyze fsa ~inputs ~outputs with
+            | Ok (Limitation.Limited bound) ->
+                List.iter
+                  (fun ins ->
+                    let w = bound.Limitation.eval (List.map String.length ins) in
+                    let outs = Generate.outputs fsa ~inputs:ins ~max_len:(w + 3) in
+                    List.iter
+                      (fun out ->
+                        List.iter
+                          (fun v ->
+                            if String.length v > w then
+                              Alcotest.failf "%s: output %S exceeds bound %d" name v w)
+                          out)
+                      outs)
+                  (all_tuples b ~arity:n_in ~max_len:2)
+            | Ok (Limitation.Unlimited r) -> Alcotest.failf "%s unexpectedly unlimited: %s" name r
+            | Error e -> Alcotest.failf "%s: %s" name e)
+          cases);
+    tc "empty language is limited with bound 0" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] Sformula.zero in
+        match Limitation.analyze fsa ~inputs:[ 0 ] ~outputs:[ 1 ] with
+        | Ok (Limitation.Limited bound) -> check_int "0" 0 (bound.Limitation.eval [ 5 ])
+        | _ -> Alcotest.fail "expected limited");
+    tc "partition is validated" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+        check_bool "error" true
+          (match Limitation.analyze fsa ~inputs:[ 0 ] ~outputs:[ 0; 1 ] with
+          | Error _ -> true
+          | Ok _ -> false));
+  ]
+
+(* The crossing construction refereed by direct two-way simulation. *)
+let crossing_tests =
+  [
+    tc "A'' accepts exactly the two-way language (hand automaton)" (fun () ->
+        (* Two-way: scan right to ⊣, come back to ⊢, scan right again and
+           accept past ⊣ iff every character is 'a'. *)
+        let meta = { Crossing.reading = false; writes = []; synthetic = false; final_read = None } in
+        let tw =
+          {
+            Crossing.sigma = b;
+            num_states = 4;
+            start = 0;
+            final = 3;
+            trans =
+              [
+                (* state 0: go right over anything to ⊣ *)
+                { Crossing.src = 0; sym = Symbol.Lend; dst = 0; move = 1; meta };
+                { Crossing.src = 0; sym = Symbol.Chr 'a'; dst = 0; move = 1; meta };
+                { Crossing.src = 0; sym = Symbol.Chr 'b'; dst = 0; move = 1; meta };
+                { Crossing.src = 0; sym = Symbol.Rend; dst = 1; move = -1; meta };
+                (* state 1: go left over anything to ⊢ *)
+                { Crossing.src = 1; sym = Symbol.Chr 'a'; dst = 1; move = -1; meta };
+                { Crossing.src = 1; sym = Symbol.Chr 'b'; dst = 1; move = -1; meta };
+                { Crossing.src = 1; sym = Symbol.Lend; dst = 2; move = 1; meta };
+                (* state 2: accept a* *)
+                { Crossing.src = 2; sym = Symbol.Chr 'a'; dst = 2; move = 1; meta };
+                { Crossing.src = 2; sym = Symbol.Rend; dst = 3; move = 1; meta };
+              ];
+          }
+        in
+        let axx = Crossing.build tw in
+        List.iter
+          (fun w ->
+            check_bool w (Crossing.two_way_accepts tw w) (Crossing.accepts axx w);
+            check_bool (w ^ " reference") (String.for_all (fun c -> c = 'a') w)
+              (Crossing.accepts axx w))
+          (Strutil.all_strings_upto b 4));
+    tc "quotient reduction preserves the two-way language" (fun () ->
+        (* Duplicate every state of a small two-way automaton; the
+           bisimulation quotient must fold the copies back without touching
+           the language. *)
+        let meta = { Crossing.reading = false; writes = []; synthetic = false; final_read = None } in
+        let base =
+          [
+            (0, Symbol.Lend, 0, 1); (0, Symbol.Chr 'a', 0, 1);
+            (0, Symbol.Chr 'b', 1, -1); (1, Symbol.Chr 'a', 0, 1);
+            (0, Symbol.Rend, 2, 1);
+          ]
+        in
+        let dup =
+          List.concat_map
+            (fun (s, sym, d, m) ->
+              (* states 0,1 duplicated as 3,4; final 2 stays *)
+              let c q = if q = 2 then 2 else q + 3 in
+              [
+                { Crossing.src = s; sym; dst = d; move = m; meta };
+                { Crossing.src = c s; sym; dst = c d; move = m; meta };
+                (* cross edges between the copies *)
+                { Crossing.src = s; sym; dst = c d; move = m; meta };
+                { Crossing.src = c s; sym; dst = d; move = m; meta };
+              ])
+            base
+        in
+        let tw =
+          { Crossing.sigma = Alphabet.binary; num_states = 5; start = 0; final = 2; trans = dup }
+        in
+        let axx = Crossing.build tw in
+        List.iter
+          (fun w ->
+            check_bool w (Crossing.two_way_accepts tw w) (Crossing.accepts axx w))
+          (Strutil.all_strings_upto Alphabet.binary 4));
+    slow_tc "A'' agreement on random two-way automata" (fun () ->
+        forall_seeded ~iters:60 (fun g seed ->
+            (* random normalized two-way automaton: 3 working states, final
+               entered only by crossing ⊣ *)
+            let n = 3 in
+            let final = n in
+            let meta = { Crossing.reading = false; writes = []; synthetic = false; final_read = None } in
+            let syms = [ Symbol.Lend; Symbol.Chr 'a'; Symbol.Chr 'b'; Symbol.Rend ] in
+            let trans = ref [] in
+            let num_trans = 6 + Prng.int g 6 in
+            for _ = 1 to num_trans do
+              let src = Prng.int g n in
+              let sym = Prng.pick g syms in
+              let dst = Prng.int g n in
+              let move =
+                match sym with
+                | Symbol.Lend -> 1
+                | Symbol.Rend -> if Prng.bool g then -1 else 0
+                | _ -> List.nth [ -1; 0; 1 ] (Prng.int g 3)
+              in
+              trans := { Crossing.src; sym; dst; move; meta } :: !trans
+            done;
+            (* accepting exit: some state crosses past ⊣ *)
+            trans :=
+              { Crossing.src = Prng.int g n; sym = Symbol.Rend; dst = final; move = 1; meta }
+              :: !trans;
+            let tw =
+              { Crossing.sigma = b; num_states = n + 1; start = 0; final; trans = !trans }
+            in
+            let axx = Crossing.build tw in
+            List.iter
+              (fun w ->
+                let direct = Crossing.two_way_accepts tw w in
+                let via = Crossing.accepts axx w in
+                if direct <> via then
+                  Alcotest.failf "seed %d: direct %b vs A'' %b on %S" seed direct via w)
+              (Strutil.all_strings_upto b 3)));
+  ]
+
+let crossing_api_tests =
+  [
+    tc "empty two-way language gives an empty A''" (fun () ->
+        let meta = { Crossing.reading = false; writes = []; synthetic = false; final_read = None } in
+        (* the only transition loops on ⊢; the final boundary is never
+           crossed. *)
+        let tw =
+          {
+            Crossing.sigma = Alphabet.binary;
+            num_states = 2;
+            start = 0;
+            final = 1;
+            trans = [ { Crossing.src = 0; sym = Symbol.Lend; dst = 0; move = 0; meta } ];
+          }
+        in
+        let axx = Crossing.build tw in
+        check_bool "empty" true (Crossing.is_empty axx);
+        check_bool "rejects" false (Crossing.accepts axx "a"));
+    tc "stats reflect the useful part" (fun () ->
+        let meta = { Crossing.reading = false; writes = []; synthetic = false; final_read = None } in
+        let tw =
+          {
+            Crossing.sigma = Alphabet.binary;
+            num_states = 2;
+            start = 0;
+            final = 1;
+            trans =
+              [
+                { Crossing.src = 0; sym = Symbol.Lend; dst = 0; move = 1; meta };
+                { Crossing.src = 0; sym = Symbol.Chr 'a'; dst = 0; move = 1; meta };
+                { Crossing.src = 0; sym = Symbol.Rend; dst = 1; move = 1; meta };
+              ];
+          }
+        in
+        let axx = Crossing.build tw in
+        check_bool "nonempty" false (Crossing.is_empty axx);
+        check_bool "has states" true (Crossing.num_states axx >= 2);
+        check_bool "has arcs" true (Crossing.num_arcs axx >= 2);
+        check_bool "accepts a*" true (Crossing.accepts axx "aa");
+        check_bool "rejects b" false (Crossing.accepts axx "ab"));
+  ]
+
+let normal_form_tests =
+  [
+    tc "compiled FSAs are in normal form" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+        check_bool "no errors" true (Limitation.normal_form_errors fsa = []));
+    tc "violations are reported" (fun () ->
+        (* final state with an outgoing transition *)
+        let fsa =
+          Fsa.make ~sigma:b ~arity:1 ~num_states:2 ~start:0 ~finals:[ 1 ]
+            ~transitions:
+              [
+                Fsa.transition ~src:0 ~read:[ Symbol.Lend ] ~dst:1 ~moves:[ 0 ];
+                Fsa.transition ~src:1 ~read:[ Symbol.Lend ] ~dst:1 ~moves:[ 1 ];
+              ]
+        in
+        check_bool "errors" true (Limitation.normal_form_errors fsa <> []));
+  ]
+
+let suites =
+  [
+    ("limitation.verdicts", verdict_tests);
+    ("limitation.bounds", bound_soundness_tests);
+    ("limitation.crossing", crossing_tests);
+    ("limitation.crossing-api", crossing_api_tests);
+    ("limitation.normal-form", normal_form_tests);
+  ]

@@ -1,0 +1,217 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   These complement the seeded exhaustive suites: QCheck shrinks
+   counterexamples, so invariant violations come back minimal. *)
+open Strdb
+
+let b = Alphabet.binary
+
+(* --- generators ----------------------------------------------------------- *)
+
+let gen_char = QCheck.Gen.oneofl [ 'a'; 'b' ]
+let gen_string = QCheck.Gen.(string_size ~gen:gen_char (int_bound 6))
+
+let arb_string =
+  QCheck.make ~print:(Printf.sprintf "%S") gen_string
+
+let arb_string_pair =
+  QCheck.make
+    ~print:(fun (u, v) -> Printf.sprintf "(%S, %S)" u v)
+    QCheck.Gen.(pair gen_string gen_string)
+
+let gen_window vars =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let base =
+        oneof
+          [
+            return Window.True;
+            map (fun v -> Window.Is_empty v) (oneofl vars);
+            map2 (fun v c -> Window.Is_char (v, c)) (oneofl vars) gen_char;
+            map2 (fun v u -> Window.Eq (v, u)) (oneofl vars) (oneofl vars);
+          ]
+      in
+      if n <= 0 then base
+      else
+        frequency
+          [
+            (3, base);
+            (1, map2 (fun a b -> Window.And (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Window.Or (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> Window.Not a) (self (n / 2)));
+          ])
+
+let gen_sformula ?(allow_right = true) vars =
+  let open QCheck.Gen in
+  let subset =
+    oneofl vars >>= fun v ->
+    map
+      (fun mask ->
+        let chosen = List.filteri (fun i _ -> (mask lsr i) land 1 = 1) vars in
+        if chosen = [] then [ v ] else chosen)
+      (int_bound ((1 lsl List.length vars) - 1))
+  in
+  let atomic =
+    subset >>= fun vs ->
+    gen_window vars >>= fun w ->
+    if allow_right then
+      map (fun r -> if r then Sformula.right vs w else Sformula.left vs w) bool
+    else return (Sformula.left vs w)
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then atomic
+      else
+        frequency
+          [
+            (3, atomic);
+            (1, return Sformula.Lambda);
+            (2, map2 (fun a c -> Sformula.Concat (a, c)) (self (n / 2)) (self (n / 2)));
+            (2, map2 (fun a c -> Sformula.Union (a, c)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> Sformula.Star a) (self (n / 2)));
+          ])
+
+let arb_sformula ?allow_right vars =
+  QCheck.make ~print:Sformula.to_string
+    (QCheck.Gen.map (fun f -> f) (gen_sformula ?allow_right vars))
+
+let prop ?(count = 100) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* --- properties ------------------------------------------------------------ *)
+
+let compile_props =
+  [
+    prop ~count:80 "Theorem 3.1: compiled FSA ≡ naive semantics"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) arb_string_pair)
+      (fun (phi, (u, v)) ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        Run.accepts fsa [ u; v ] = Naive.holds phi [ ("x", u); ("y", v) ]);
+    prop ~count:80 "compiled FSAs are in normal form"
+      (arb_sformula [ "x"; "y" ])
+      (fun phi ->
+        Limitation.normal_form_errors (Compile.compile b ~vars:[ "x"; "y" ] phi) = []);
+    prop ~count:80 "property 1: tape directions mirror variable directions"
+      (arb_sformula [ "x"; "y" ])
+      (fun phi ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let bidi = Sformula.bidirectional_vars phi in
+        List.for_all
+          (fun (i, v) ->
+            (not (Fsa.tape_bidirectional fsa i)) || List.mem v bidi)
+          [ (0, "x"); (1, "y") ]);
+    prop ~count:60 "star semantics: φ* accepts iff some finite power does"
+      (QCheck.pair (arb_sformula ~allow_right:false [ "x" ]) arb_string)
+      (fun (phi, u) ->
+        let star = Compile.compile b ~vars:[ "x" ] (Sformula.Star phi) in
+        let accepted = Run.accepts star [ u ] in
+        let power_hits =
+          List.exists
+            (fun k ->
+              Run.accepts (Compile.compile b ~vars:[ "x" ] (Sformula.power phi k)) [ u ])
+            [ 0; 1; 2; 3 ]
+        in
+        (* powers up to 3 are a semidecision: they may miss, never lie *)
+        (not power_hits) || accepted);
+  ]
+
+let run_props =
+  [
+    prop ~count:80 "BFS and DFS acceptance agree"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) arb_string_pair)
+      (fun (phi, (u, v)) ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        Run.accepts fsa [ u; v ] = Run.accepts_dfs fsa [ u; v ]);
+    prop ~count:60 "Lemma 3.1: specialisation preserves sections"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) arb_string_pair)
+      (fun (phi, (u, v)) ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let spec = Specialize.specialize fsa [ u ] in
+        Run.accepts spec [ v ] = Run.accepts fsa [ u; v ]);
+  ]
+
+let baseline_props =
+  [
+    prop "edit distance is a metric (symmetry)" arb_string_pair (fun (u, v) ->
+        Edit_distance.distance u v = Edit_distance.distance v u);
+    prop "edit distance triangle inequality"
+      (QCheck.pair arb_string_pair arb_string)
+      (fun ((u, v), w) ->
+        Edit_distance.distance u v
+        <= Edit_distance.distance u w + Edit_distance.distance w v);
+    prop "edit distance bounded by length difference below"
+      arb_string_pair
+      (fun (u, v) ->
+        Edit_distance.distance u v >= abs (String.length u - String.length v));
+    prop "KMP finds what naive search finds" arb_string_pair (fun (p, t) ->
+        Strmatch.kmp_find ~pattern:p t = Strmatch.naive_find ~pattern:p t);
+    prop "shuffle DP agrees with direct enumeration"
+      (QCheck.pair arb_string_pair arb_string)
+      (fun ((u, v), w) ->
+        Strutil.is_shuffle w u v = List.mem w (Strutil.shuffles u v));
+  ]
+
+let alignment_props =
+  [
+    prop "left then right transpose is the identity away from the ends"
+      arb_string
+      (fun w ->
+        QCheck.assume (w <> "");
+        let a = Alignment.initial [ ("x", w) ] in
+        let l = { Sformula.tvars = [ "x" ]; dir = Sformula.Left } in
+        let r = { Sformula.tvars = [ "x" ]; dir = Sformula.Right } in
+        let a' = Alignment.transpose (Alignment.transpose a l) r in
+        Alignment.equal a a');
+    prop "window is always the symbol at the offset" arb_string (fun w ->
+        let a = Alignment.initial [ ("x", w) ] in
+        let row = Alignment.row a "x" in
+        Symbol.equal (Alignment.window a "x")
+          (Symbol.of_tape row.Alignment.content row.Alignment.offset));
+    prop ~count:60 "naive semantics is invariant under binding order"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) arb_string_pair)
+      (fun (phi, (u, v)) ->
+        Naive.holds phi [ ("x", u); ("y", v) ]
+        = Naive.holds phi [ ("y", v); ("x", u) ]);
+  ]
+
+let truncation_props =
+  [
+    prop ~count:40 "pure-formula answers are monotone in the cutoff"
+      (arb_sformula ~allow_right:false [ "x" ])
+      (fun phi ->
+        let tuples l = Naive.tuples b ~vars:[ "x" ] ~max_len:l phi in
+        let t1 = tuples 1 and t2 = tuples 2 in
+        List.for_all (fun t -> List.mem t t2) t1);
+    prop ~count:40 "generator output equals filtered enumeration"
+      (arb_sformula [ "x" ])
+      (fun phi ->
+        let fsa = Compile.compile b ~vars:[ "x" ] phi in
+        let gen = Generate.accepted fsa ~max_len:2 in
+        let brute =
+          List.filter
+            (fun w -> Run.accepts fsa [ w ])
+            (Strutil.all_strings_upto b 2)
+          |> List.map (fun w -> [ w ])
+          |> List.sort compare
+        in
+        gen = brute);
+  ]
+
+let parser_props =
+  [
+    prop ~count:80 "printer/parser round trip preserves semantics"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) arb_string_pair)
+      (fun (phi, (u, v)) ->
+        let phi' = Sparser.sformula_roundtrip phi in
+        Naive.holds phi [ ("x", u); ("y", v) ]
+        = Naive.holds phi' [ ("x", u); ("y", v) ]);
+  ]
+
+let suites =
+  [
+    ("qcheck.compile", compile_props);
+    ("qcheck.run", run_props);
+    ("qcheck.baselines", baseline_props);
+    ("qcheck.alignment", alignment_props);
+    ("qcheck.truncation", truncation_props);
+    ("qcheck.parser", parser_props);
+  ]

@@ -1,0 +1,269 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+let db =
+  Database.of_list
+    [ ("r", [ [ "a"; "b" ]; [ "ab"; "ba" ] ]); ("s", [ [ "ab" ]; [ "b" ] ]) ]
+
+let infer_tests =
+  [
+    tc "relational variables are limited" (fun () ->
+        let report = Safety.infer b (Formula.Rel ("r", [ "x"; "y" ])) in
+        check_string_list "all limited" [] report.Safety.unlimited;
+        check_int "limit = max len" 2 (report.Safety.limit db));
+    tc "string formulae propagate limits" (fun () ->
+        let phi =
+          Formula.exists_many [ "y"; "z" ]
+            (Formula.and_list
+               [
+                 Formula.Rel ("r", [ "y"; "z" ]);
+                 Formula.Str (Combinators.concat3 "x" "y" "z");
+               ])
+        in
+        let report = Safety.infer b phi in
+        check_string_list "all limited" [] report.Safety.unlimited;
+        check_bool "limit covers concatenations" true (report.Safety.limit db >= 4));
+    tc "the paper's unsafe/safe manifold pair (Section 5)" (fun () ->
+        (* y | ∃x: R(x) ∧ y ∈*s x : unsafe — y is a manifold OF x,
+           unboundedly long. *)
+        let unsafe =
+          Formula.Exists
+            ( "x",
+              Formula.And
+                (Formula.Rel ("s", [ "x" ]), Formula.Str (Combinators.manifold "y" "x")) )
+        in
+        check_bool "unsafe" false (Safety.is_domain_independent_syntactically b unsafe);
+        (* y | ∃x: R(x) ∧ x ∈*s y : safe — x limits y. *)
+        let safe =
+          Formula.Exists
+            ( "x",
+              Formula.And
+                (Formula.Rel ("s", [ "x" ]), Formula.Str (Combinators.manifold "x" "y")) )
+        in
+        check_bool "safe" true (Safety.is_domain_independent_syntactically b safe));
+    tc "negations do not generate" (fun () ->
+        let phi = Formula.Not (Formula.Rel ("s", [ "x" ])) in
+        let report = Safety.infer b phi in
+        check_string_list "x unlimited" [ "x" ] report.Safety.unlimited);
+  ]
+
+let evaluate_tests =
+  [
+    tc "safe query evaluates to the reference answer" (fun () ->
+        (* The literal Eq. 6 route enumerates Σ^{≤W}: usable only when the
+           inferred W is tiny, so raise the cap just enough and compare
+           against both the expected answers and the truncated brute
+           force.  (The production engine is Eval; see the pipeline
+           suite.) *)
+        let phi =
+          Formula.exists_many [ "y"; "z" ]
+            (Formula.and_list
+               [
+                 Formula.Rel ("r", [ "y"; "z" ]);
+                 Formula.Str (Combinators.concat3 "x" "y" "z");
+               ])
+        in
+        (* W(db) here is |A|-scaled and far beyond any practical cap. *)
+        (match Safety.evaluate b db ~free:[ "x" ] phi with
+        | Error e ->
+            check_bool "explains the cap" true
+              (String.length e > 0)
+        | Ok _ -> Alcotest.fail "expected the cap to reject W(db)");
+        check_tuples "truncated at 4"
+          [ [ "ab" ]; [ "abba" ] ]
+          (Safety.evaluate_truncated b db ~cutoff:4 ~free:[ "x" ] phi));
+    tc "unsafe query is rejected" (fun () ->
+        let phi =
+          Formula.Exists
+            ( "g",
+              Formula.And
+                (Formula.Rel ("s", [ "g" ]), Formula.Str (Combinators.occurs_in "g" "x")) )
+        in
+        check_bool "rejected" true
+          (match Safety.evaluate b db ~free:[ "x" ] phi with Error _ -> true | Ok _ -> false));
+    tc "truncated evaluation matches the brute force" (fun () ->
+        let phi =
+          Formula.And
+            (Formula.Rel ("r", [ "x"; "y" ]), Formula.Str (Combinators.prefix "x" "y"))
+        in
+        List.iter
+          (fun cutoff ->
+            check_tuples
+              (Printf.sprintf "cutoff %d" cutoff)
+              (Formula.answers b db ~max_len:cutoff ~free:[ "x"; "y" ] phi)
+              (Safety.evaluate_truncated b db ~cutoff ~free:[ "x"; "y" ] phi))
+          [ 0; 1; 2 ]);
+  ]
+
+let pipeline_tests =
+  [
+    tc "Eval agrees with the Theorem 4.2 route (truncated)" (fun () ->
+        let queries =
+          [
+            ( [ "x" ],
+              Formula.exists_many [ "y"; "z" ]
+                (Formula.and_list
+                   [
+                     Formula.Rel ("r", [ "y"; "z" ]);
+                     Formula.Str (Combinators.concat3 "x" "y" "z");
+                   ]) );
+            ( [ "x"; "y" ],
+              Formula.And
+                (Formula.Rel ("r", [ "x"; "y" ]), Formula.Str (Combinators.prefix "x" "y"))
+            );
+            ( [ "x" ],
+              Formula.And
+                ( Formula.Rel ("s", [ "x" ]),
+                  Formula.Not (Formula.Str (Combinators.literal "x" "b")) ) );
+          ]
+        in
+        List.iter
+          (fun (free, phi) ->
+            (* cutoff 4 covers every witness in this db, so the truncated
+               Theorem 4.2 route computes the full answer. *)
+            let slow = Safety.evaluate_truncated b db ~cutoff:4 ~free phi in
+            match Eval.run b db ~free phi with
+            | Ok fast -> check_tuples "agree" slow fast
+            | Error e -> Alcotest.failf "Eval failed: %s" e)
+          queries);
+    tc "Eval agrees with brute force on generator queries" (fun () ->
+        let phi =
+          Formula.Exists
+            ( "x",
+              Formula.And
+                (Formula.Rel ("s", [ "x" ]), Formula.Str (Combinators.manifold "x" "y")) )
+        in
+        match Eval.run b db ~free:[ "y" ] phi with
+        | Error e -> Alcotest.fail e
+        | Ok fast ->
+            check_tuples "manifold divisors"
+              (Formula.answers b db ~max_len:2 ~free:[ "y" ] phi)
+              fast);
+    tc "plans are explainable" (fun () ->
+        let phi =
+          Formula.exists_many [ "y"; "z" ]
+            (Formula.and_list
+               [
+                 Formula.Rel ("r", [ "y"; "z" ]);
+                 Formula.Str (Combinators.concat3 "x" "y" "z");
+               ])
+        in
+        match Eval.explain b db phi with
+        | Error e -> Alcotest.fail e
+        | Ok steps ->
+            check_bool "has a scan" true
+              (List.exists (function Eval.Scan _ -> true | _ -> false) steps);
+            check_bool "has a generator" true
+              (List.exists (function Eval.Generator _ -> true | _ -> false) steps));
+    tc "chained generators bind through intermediates" (fun () ->
+        (* x = u·u (via w = u·u?  no: w reversed twice) — chain: w is the
+           reverse of u (generator 1), x is the reverse of w (generator 2):
+           the answers must be exactly the u's back again. *)
+        let phi =
+          Formula.Exists
+            ( "w",
+              Formula.and_list
+                [
+                  Formula.Rel ("s", [ "u" ]);
+                  Formula.Str (Combinators.reverse_of "w" "u");
+                  Formula.Str (Combinators.reverse_of "x" "w");
+                ] )
+        in
+        match Eval.run b db ~free:[ "u"; "x" ] phi with
+        | Error e -> Alcotest.fail e
+        | Ok answers ->
+            check_tuples "double reverse = identity"
+              (List.map (fun t -> [ List.hd t; List.hd t ]) (Database.find db "s"))
+              answers);
+    tc "repeated variables in a scanned relation" (fun () ->
+        let db2 = Database.of_list [ ("r", [ [ "a"; "a" ]; [ "a"; "b" ] ]) ] in
+        match Eval.run b db2 ~free:[ "x" ] (Formula.Rel ("r", [ "x"; "x" ])) with
+        | Ok answers -> check_tuples "diagonal" [ [ "a" ] ] answers
+        | Error e -> Alcotest.fail e);
+    tc "self-join through shared columns" (fun () ->
+        let db2 =
+          Database.of_list [ ("e", [ [ "a"; "b" ]; [ "b"; "ab" ]; [ "ab"; "a" ] ]) ]
+        in
+        let phi =
+          Formula.Exists
+            ( "y",
+              Formula.And (Formula.Rel ("e", [ "x"; "y" ]), Formula.Rel ("e", [ "y"; "z" ]))
+            )
+        in
+        match Eval.run b db2 ~free:[ "x"; "z" ] phi with
+        | Ok answers ->
+            check_tuples "two-step paths"
+              [ [ "a"; "ab" ]; [ "ab"; "b" ]; [ "b"; "a" ] ]
+              answers
+        | Error e -> Alcotest.fail e);
+    tc "pure filter query with no relations" (fun () ->
+        (* no Rel conjuncts: the only bindings come from generators over the
+           empty table; a constant formula generates its own column. *)
+        let phi = Formula.Str (Combinators.literal "x" "ab") in
+        match Eval.run b Database.empty ~free:[ "x" ] phi with
+        | Ok answers -> check_tuples "constant" [ [ "ab" ] ] answers
+        | Error e -> Alcotest.fail e);
+    tc "nested quantifiers are rejected with guidance" (fun () ->
+        let phi =
+          Formula.And
+            ( Formula.Rel ("s", [ "x" ]),
+              Formula.Not (Formula.Exists ("y", Formula.Rel ("r", [ "x"; "y" ]))) )
+        in
+        check_bool "rejected" true
+          (match Eval.run b db ~free:[ "x" ] phi with Error _ -> true | Ok _ -> false));
+  ]
+
+let random_pipeline_tests =
+  [
+    slow_tc "Eval ≡ brute force on random generator-pipeline queries" (fun () ->
+        forall_seeded ~iters:25 (fun g seed ->
+            (* Random database over very short binary strings so the
+               cutoff-3 brute force below is the full answer. *)
+            let word () = Prng.string_upto g b 1 in
+            let dbr =
+              Database.of_list
+                [
+                  ("r", List.init (1 + Prng.int g 3) (fun _ -> [ word (); word () ]));
+                  ("s", List.init (1 + Prng.int g 2) (fun _ -> [ word () ]));
+                ]
+            in
+            (* Random conjunctive query: a relational seed plus one or two
+               string-formula atoms, possibly introducing a generated
+               variable z, possibly quantifying y away. *)
+            let str_atoms =
+              [
+                Formula.Str (Combinators.prefix "x" "y");
+                Formula.Str (Combinators.suffix "x" "y");
+                Formula.Str (Combinators.equal_s "x" "y");
+                Formula.Str (Combinators.subsequence "x" "y");
+                Formula.Str (Combinators.reverse_of "z" "x");
+                Formula.Str (Combinators.concat3 "z" "x" "y");
+                Formula.Str (Combinators.occurs_in "x" "y");
+              ]
+            in
+            let atoms =
+              Formula.Rel ("r", [ "x"; "y" ])
+              :: List.init (1 + Prng.int g 2) (fun _ -> Prng.pick g str_atoms)
+            in
+            let body = Formula.and_list atoms in
+            let phi = if Prng.bool g then Formula.Exists ("y", body) else body in
+            let free = Formula.free_vars phi in
+            match Eval.run b dbr ~free phi with
+            | Error _ -> () (* outside the certified fragment; fine *)
+            | Ok fast ->
+                (* every witness is length-bounded by 2 = 1+1 here, so the
+                   cutoff-3 brute force is the full answer *)
+                let slow = Formula.answers b dbr ~max_len:3 ~free phi in
+                if fast <> slow then
+                  Alcotest.failf "seed %d: Eval disagrees with brute force" seed));
+  ]
+
+let suites =
+  [
+    ("safety.infer", infer_tests);
+    ("safety.evaluate", evaluate_tests);
+    ("safety.pipeline", pipeline_tests);
+    ("safety.random", random_pipeline_tests);
+  ]

@@ -1,0 +1,116 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+let sformula_tests =
+  [
+    tc "atoms" (fun () ->
+        check_bool "left" true
+          (Sparser.sformula "[x]l{x='a'}"
+          = Sformula.left [ "x" ] (Window.Is_char ("x", 'a')));
+        check_bool "right two vars" true
+          (Sparser.sformula "[x,y]r{x=y}"
+          = Sformula.right [ "x"; "y" ] (Window.Eq ("x", "y")));
+        check_bool "empty transpose" true
+          (Sparser.sformula "[]l{x=#}" = Sformula.test (Window.Is_empty "x"));
+        check_bool "lambda" true (Sparser.sformula "%" = Sformula.Lambda));
+    tc "operators and precedence" (fun () ->
+        (* union binds loosest, then concat, then star *)
+        let phi = Sparser.sformula "[x]l{T}.[x]l{F}* + %" in
+        check_bool "shape" true
+          (match phi with
+          | Sformula.Union (Sformula.Concat (_, Sformula.Star _), Sformula.Lambda) -> true
+          | _ -> false));
+    tc "power sugar" (fun () ->
+        check_bool "cube" true
+          (Sparser.sformula "[x]l{T}^3"
+          = Sformula.power (Sformula.left [ "x" ] Window.True) 3));
+    tc "window connectives" (fun () ->
+        let phi = Sparser.sformula "[x,y]l{!(x=y) & x='a' | y=#}" in
+        match phi with
+        | Sformula.Atomic { test = Window.Or (Window.And (Window.Not _, _), Window.Is_empty "y"); _ } -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    tc "parse errors carry messages" (fun () ->
+        List.iter
+          (fun bad ->
+            check_bool bad true
+              (try
+                 ignore (Sparser.sformula bad);
+                 false
+               with Sparser.Parse_error _ -> true))
+          [ ""; "[x]l"; "[x]l{x}"; "[x]q{T}"; "[x]l{T} +"; "[x]l{x='ab'}" ]);
+    tc "printer output reparses to the same language (combinators)" (fun () ->
+        (* The printer flattens and the parser re-associates, so compare
+           semantics rather than syntax. *)
+        List.iter
+          (fun (vars, max_len, phi) ->
+            let phi' = Sparser.sformula_roundtrip phi in
+            List.iter
+              (fun tup ->
+                let bind = List.combine vars tup in
+                if Naive.holds phi bind <> Naive.holds phi' bind then
+                  Alcotest.failf "round trip changed the language of %s"
+                    (Sformula.to_string phi))
+              (all_tuples b ~arity:(List.length vars) ~max_len))
+          [
+            ([ "x"; "y" ], 2, Combinators.equal_s "x" "y");
+            ([ "x"; "y" ], 2, Combinators.manifold "x" "y");
+            ([ "x"; "y"; "z" ], 1, Combinators.concat3 "x" "y" "z");
+            ([ "x"; "y" ], 2, Combinators.occurs_in "x" "y");
+            ([ "x"; "y" ], 1, Combinators.edit_distance_le "x" "y" 2);
+          ]);
+    tc "printer output reparses (random formulae)" (fun () ->
+        forall_seeded ~iters:120 (fun g seed ->
+            let phi = random_sformula ~allow_right:true g b [ "x"; "y" ] 3 in
+            let phi' = Sparser.sformula_roundtrip phi in
+            (* Equality up to re-association is what the printer guarantees;
+               compare semantics on small tuples instead of syntax. *)
+            List.iter
+              (fun tup ->
+                let bind = List.combine [ "x"; "y" ] tup in
+                if Naive.holds phi bind <> Naive.holds phi' bind then
+                  Alcotest.failf "seed %d: round trip changed the semantics of %s"
+                    seed (Sformula.to_string phi))
+              (all_tuples b ~arity:2 ~max_len:1)));
+  ]
+
+let formula_tests =
+  [
+    tc "relational atoms and connectives" (fun () ->
+        check_bool "rel" true
+          (Sparser.formula "r(x,y)" = Formula.Rel ("r", [ "x"; "y" ]));
+        check_bool "conj" true
+          (Sparser.formula "r(x) & s(x)"
+          = Formula.And (Formula.Rel ("r", [ "x" ]), Formula.Rel ("s", [ "x" ])));
+        check_bool "neg" true
+          (Sparser.formula "~r(x)" = Formula.Not (Formula.Rel ("r", [ "x" ]))));
+    tc "quantifier blocks" (fun () ->
+        check_bool "exists two" true
+          (Sparser.formula "E y z. r(y,z)"
+          = Formula.exists_many [ "y"; "z" ] (Formula.Rel ("r", [ "y"; "z" ])));
+        check_bool "forall" true
+          (Sparser.formula "A x. r(x)" = Formula.forall "x" (Formula.Rel ("r", [ "x" ]))));
+    tc "string atoms embed" (fun () ->
+        let phi = Sparser.formula "r(x,y) & S{([x,y]l{x=y})*.[x,y]l{x=y & x=#}}" in
+        let expected =
+          Sformula.seq
+            [
+              Sformula.star (Sformula.left [ "x"; "y" ] (Window.Eq ("x", "y")));
+              Sformula.left [ "x"; "y" ]
+                Window.(Eq ("x", "y") && Is_empty "x");
+            ]
+        in
+        match phi with
+        | Formula.And (Formula.Rel ("r", _), Formula.Str s) ->
+            check_bool "is the equality formula" true (s = expected)
+        | _ -> Alcotest.fail "unexpected parse");
+    tc "parsed queries evaluate" (fun () ->
+        let db = Database.of_list [ ("r", [ [ "ab"; "ab" ]; [ "a"; "b" ] ]) ] in
+        let phi = Sparser.formula "r(x,y) & S{([x,y]l{x=y})*.[x,y]l{x=y & x=#}}" in
+        match Eval.run b db ~free:[ "x"; "y" ] phi with
+        | Ok answers -> check_tuples "equal pairs" [ [ "ab"; "ab" ] ] answers
+        | Error e -> Alcotest.fail e);
+  ]
+
+let suites = [ ("sparser.sformula", sformula_tests); ("sparser.formula", formula_tests) ]

@@ -1,0 +1,192 @@
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+
+let temporal_tests =
+  [
+    tc "eventually finds a character" (fun () ->
+        check_formula_against "eventually a" b [ "x" ]
+          (Temporal.eventually [ "x" ] (Window.Is_char ("x", 'a')))
+          (function [ x ] -> String.contains x 'a' | _ -> false)
+          ~max_len:3);
+    tc "henceforth holds to the end" (fun () ->
+        check_formula_against "henceforth a" b [ "x" ]
+          (Temporal.henceforth [ "x" ] (Window.Is_char ("x", 'a')))
+          (function [ x ] -> String.for_all (fun c -> c = 'a') x | _ -> false)
+          ~max_len:3);
+    tc "until" (fun () ->
+        (* a's until a b: x ∈ a*b(anything) *)
+        check_formula_against "a until b" b [ "x" ]
+          (Temporal.until_w [ "x" ] (Window.Is_char ("x", 'a')) (Window.Is_char ("x", 'b')))
+          (function
+            | [ x ] ->
+                let rec go i =
+                  i < String.length x
+                  && (x.[i] = 'b' || (x.[i] = 'a' && go (i + 1)))
+                in
+                go 0
+            | _ -> false)
+          ~max_len:3);
+    tc "next" (fun () ->
+        check_formula_against "next is a" b [ "x" ]
+          (Temporal.next [ "x" ] (Sformula.test (Window.Is_char ("x", 'a'))))
+          (function [ x ] -> String.length x >= 1 && x.[0] = 'a' | _ -> false)
+          ~max_len:2);
+    tc "since and previously (past tense)" (fun () ->
+        (* after walking to the end, 'previously b' finds a b somewhere *)
+        let phi =
+          Sformula.seq
+            [
+              Sformula.star (Sformula.left [ "x" ] Window.True);
+              Sformula.left [ "x" ] (Window.Is_empty "x");
+              Temporal.previously [ "x" ] (Window.Is_char ("x", 'b'));
+            ]
+        in
+        check_formula_against "previously b" b [ "x" ] phi
+          (function [ x ] -> String.contains x 'b' | _ -> false)
+          ~max_len:3);
+    tc "the paper's occurs-in phrasing" (fun () ->
+        check_formula_against "temporal occurs_in" b [ "x"; "y" ]
+          (Temporal.occurs_in "x" "y")
+          (function [ x; y ] -> Strutil.is_substring x y | _ -> false)
+          ~max_len:3);
+    tc "next rejects non-window arguments" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Temporal.next [ "x" ] (Sformula.star Sformula.Lambda));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let seqpred_tests =
+  [
+    tc "concatenation pattern α1*α2*" (fun () ->
+        (* x3 ∈ α1*α2*(x1,x2): x3 = x1 · x2 on the sequence level *)
+        let p = Seqpred.(Pseq (Pstar (Channel 1), Pstar (Channel 2))) in
+        check_bool "ref positive" true
+          (Seqpred.reference p [ [ "a"; "b" ]; [ "c" ] ] [ "a"; "b"; "c" ]);
+        check_bool "ref negative" false
+          (Seqpred.reference p [ [ "a"; "b" ]; [ "c" ] ] [ "a"; "c"; "b" ]));
+    tc "shuffle pattern (α1+α2)*" (fun () ->
+        let p = Seqpred.(Pstar (Palt (Channel 1, Channel 2))) in
+        check_bool "interleave" true
+          (Seqpred.reference p [ [ "a"; "b" ]; [ "c" ] ] [ "a"; "c"; "b" ]);
+        check_bool "missing item" false
+          (Seqpred.reference p [ [ "a"; "b" ]; [ "c" ] ] [ "a"; "b" ]));
+    tc "encode_sequence" (fun () ->
+        check_string "enc" "ab>c>" (Seqpred.encode_sequence ~terminator:'>' [ "ab"; "c" ]);
+        check_string "empty" "" (Seqpred.encode_sequence ~terminator:'>' []));
+    slow_tc "Theorem 6.4: the formula mirrors the sequence predicate" (fun () ->
+        let sigma = Alphabet.make [ 'a'; 'b'; '>' ] in
+        let patterns =
+          [
+            Seqpred.(Pseq (Pstar (Channel 1), Pstar (Channel 2)));
+            Seqpred.(Pstar (Palt (Channel 1, Channel 2)));
+            Seqpred.(Pseq (Channel 1, Pseq (Channel 2, Channel 1)));
+          ]
+        in
+        (* small universes of sequences whose items are over {a,b} *)
+        let items = [ ""; "a"; "b"; "ab" ] in
+        let seqs =
+          [ [] ] @ List.map (fun i -> [ i ]) items
+          @ [ [ "a"; "b" ]; [ "b"; "a" ]; [ "ab"; "a" ] ]
+        in
+        List.iter
+          (fun p ->
+            let phi =
+              Seqpred.formula ~terminator:'>' ~channels:[ "c1"; "c2" ] ~output:"o" p
+            in
+            let fsa = Compile.compile sigma ~vars:[ "c1"; "c2"; "o" ] phi in
+            List.iter
+              (fun s1 ->
+                List.iter
+                  (fun s2 ->
+                    List.iter
+                      (fun out ->
+                        let reference = Seqpred.reference p [ s1; s2 ] out in
+                        let enc = Seqpred.encode_sequence ~terminator:'>' in
+                        let via = Run.accepts fsa [ enc s1; enc s2; enc out ] in
+                        if reference <> via then
+                          Alcotest.failf
+                            "pattern disagrees on channels (%s | %s) output %s"
+                            (String.concat ";" s1) (String.concat ";" s2)
+                            (String.concat ";" out))
+                      seqs)
+                  seqs)
+              seqs)
+          patterns);
+    tc "channel index validation" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Seqpred.formula ~terminator:'>' ~channels:[ "c1" ] ~output:"o"
+                  (Seqpred.Channel 2));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let sformula_tests =
+  [
+    tc "vars and directions" (fun () ->
+        let phi = Combinators.manifold "x" "y" in
+        check_string_list "vars" [ "x"; "y" ] (Sformula.vars phi);
+        check_string_list "bidi" [ "y" ] (Sformula.bidirectional_vars phi);
+        check_bool "right-restricted" true (Sformula.is_right_restricted phi);
+        check_bool "not unidirectional" false (Sformula.is_unidirectional phi));
+    tc "two bidirectional variables are not right-restricted" (fun () ->
+        let phi =
+          Sformula.Concat
+            (Sformula.right [ "x" ] Window.True, Sformula.right [ "y" ] Window.True)
+        in
+        check_bool "no" false (Sformula.is_right_restricted phi));
+    tc "map_vars renames everywhere" (fun () ->
+        let phi = Combinators.equal_s "x" "y" in
+        let phi' = Sformula.map_vars (function "x" -> "u" | v -> v) phi in
+        check_string_list "renamed" [ "u"; "y" ] (Sformula.vars phi'));
+    tc "power and plus" (fun () ->
+        check_bool "power 0" true (Sformula.power Sformula.Lambda 0 = Sformula.Lambda);
+        check_int "size grows" 5
+          (Sformula.size (Sformula.power (Sformula.left [ "x" ] Window.True) 3)));
+    tc "pretty printing is stable" (fun () ->
+        let phi = Combinators.equal_s "x" "y" in
+        check_string "pp" (Sformula.to_string phi) (Sformula.to_string phi));
+    tc "zero is recognisable" (fun () ->
+        check_bool "zero" true (Sformula.is_zero Sformula.zero);
+        check_bool "not zero" false (Sformula.is_zero Sformula.Lambda));
+    tc "simplify: algebraic identities" (fun () ->
+        let a = Sformula.left [ "x" ] (Window.Is_char ("x", 'a')) in
+        check_bool "zero annihilates" true
+          (Sformula.is_zero (Sformula.simplify (Sformula.Concat (Sformula.zero, a))));
+        check_bool "lambda unit" true
+          (Sformula.simplify (Sformula.Concat (Sformula.Lambda, a)) = a);
+        check_bool "union zero" true
+          (Sformula.simplify (Sformula.Union (Sformula.zero, a)) = a);
+        check_bool "union idempotent" true
+          (Sformula.simplify (Sformula.Union (a, a)) = a);
+        check_bool "star star" true
+          (Sformula.simplify (Sformula.Star (Sformula.Star a)) = Sformula.Star a);
+        check_bool "star of zero" true
+          (Sformula.simplify (Sformula.Star Sformula.zero) = Sformula.Lambda);
+        check_bool "lambda in star union" true
+          (Sformula.simplify (Sformula.Star (Sformula.Union (Sformula.Lambda, a)))
+          = Sformula.Star a));
+    tc "simplify preserves the semantics (random)" (fun () ->
+        forall_seeded ~iters:80 (fun g seed ->
+            let phi = random_sformula ~allow_right:true g b [ "x"; "y" ] 3 in
+            let phi' = Sformula.simplify phi in
+            List.iter
+              (fun tup ->
+                let bind = List.combine [ "x"; "y" ] tup in
+                if Naive.holds phi bind <> Naive.holds phi' bind then
+                  Alcotest.failf "seed %d: simplify changed the semantics of %s"
+                    seed (Sformula.to_string phi))
+              (all_tuples b ~arity:2 ~max_len:2)));
+  ]
+
+let suites =
+  [
+    ("temporal.modalities", temporal_tests);
+    ("temporal.seqpred", seqpred_tests);
+    ("sformula.basics", sformula_tests);
+  ]

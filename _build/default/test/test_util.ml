@@ -1,0 +1,140 @@
+open Strdb
+open Helpers
+
+let alphabet_tests =
+  [
+    tc "make rejects singleton" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Alphabet.make [ 'a' ]);
+             false
+           with Alphabet.Invalid_alphabet _ -> true));
+    tc "make rejects duplicates" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Alphabet.make [ 'a'; 'b'; 'a' ]);
+             false
+           with Alphabet.Invalid_alphabet _ -> true));
+    tc "rank and nth are inverse" (fun () ->
+        let s = Alphabet.dna in
+        List.iteri
+          (fun i c ->
+            check_int "rank" i (Alphabet.rank s c);
+            check_bool "nth" true (Alphabet.nth s i = c))
+          (Alphabet.chars s));
+    tc "mem" (fun () ->
+        check_bool "a in dna" true (Alphabet.mem Alphabet.dna 'a');
+        check_bool "z not in dna" false (Alphabet.mem Alphabet.dna 'z'));
+    tc "subset" (fun () ->
+        check_bool "binary in dna? no (b not in dna)" false
+          (Alphabet.subset Alphabet.binary Alphabet.dna);
+        check_bool "reflexive" true (Alphabet.subset Alphabet.dna Alphabet.dna));
+    tc "check_string" (fun () ->
+        Alphabet.check_string Alphabet.dna "acgt";
+        check_bool "contains" false (Alphabet.contains_string Alphabet.dna "acgx"));
+    tc "of_string ordering" (fun () ->
+        check_string "chars" "tgca"
+          (Strutil.implode (Alphabet.chars (Alphabet.of_string "tgca"))));
+  ]
+
+let strutil_tests =
+  [
+    tc "explode/implode inverse" (fun () ->
+        check_string "round" "hello" (Strutil.implode (Strutil.explode "hello")));
+    tc "all_strings counts" (fun () ->
+        check_int "len 3 over binary" 8
+          (List.length (Strutil.all_strings Alphabet.binary 3));
+        check_int "upto 3 over binary" 15
+          (List.length (Strutil.all_strings_upto Alphabet.binary 3)));
+    tc "all_strings distinct" (fun () ->
+        let l = Strutil.all_strings_upto Alphabet.abc 3 in
+        check_int "distinct" (List.length l) (List.length (List.sort_uniq compare l)));
+    tc "prefix/suffix/substring" (fun () ->
+        check_bool "prefix" true (Strutil.is_prefix "ab" "abc");
+        check_bool "not prefix" false (Strutil.is_prefix "b" "abc");
+        check_bool "empty prefix" true (Strutil.is_prefix "" "abc");
+        check_bool "suffix" true (Strutil.is_suffix "bc" "abc");
+        check_bool "substring" true (Strutil.is_substring "bc" "abcd");
+        check_bool "empty substring" true (Strutil.is_substring "" "");
+        check_bool "not substring" false (Strutil.is_substring "ca" "abc"));
+    tc "subsequence" (fun () ->
+        check_bool "ace in abcde" true (Strutil.is_subsequence "ace" "abcde");
+        check_bool "cba not" false (Strutil.is_subsequence "cba" "abc"));
+    tc "repeat and manifold" (fun () ->
+        check_string "repeat" "ababab" (Strutil.repeat "ab" 3);
+        check_bool "manifold" true (Strutil.is_manifold "ababab" "ab");
+        check_bool "not manifold" false (Strutil.is_manifold "ababa" "ab");
+        check_bool "epsilon of epsilon" true (Strutil.is_manifold "" "");
+        check_bool "epsilon of a: k>=1 required" false (Strutil.is_manifold "" "a");
+        check_bool "nonempty of epsilon" false (Strutil.is_manifold "a" ""));
+    tc "reverse" (fun () -> check_string "rev" "cba" (Strutil.reverse "abc"));
+    tc "count_char" (fun () -> check_int "a's" 3 (Strutil.count_char 'a' "abaca"));
+    tc "shuffles vs is_shuffle" (fun () ->
+        let u = "ab" and v = "ca" in
+        let all = Strutil.shuffles u v in
+        List.iter (fun w -> check_bool w true (Strutil.is_shuffle w u v)) all;
+        check_bool "wrong length" false (Strutil.is_shuffle "abc" u v);
+        check_bool "wrong content" false (Strutil.is_shuffle "abab" u v));
+    tc "is_shuffle exhaustive vs enumeration" (fun () ->
+        let words = Strutil.all_strings_upto Alphabet.binary 2 in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun v ->
+                let all = Strutil.shuffles u v in
+                List.iter
+                  (fun w ->
+                    check_bool
+                      (Printf.sprintf "%s in shuffle(%s,%s)" w u v)
+                      (List.mem w all) (Strutil.is_shuffle w u v))
+                  (Strutil.all_strings Alphabet.binary
+                     (String.length u + String.length v)))
+              words)
+          words);
+    tc "longest" (fun () ->
+        check_int "empty" 0 (Strutil.longest []);
+        check_int "max" 4 (Strutil.longest [ "ab"; "abcd"; "" ]));
+  ]
+
+let prng_tests =
+  [
+    tc "determinism" (fun () ->
+        let a = Prng.create 42 and b = Prng.create 42 in
+        for _ = 1 to 100 do
+          check_int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+        done);
+    tc "different seeds differ" (fun () ->
+        let a = Prng.create 1 and b = Prng.create 2 in
+        let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+        check_bool "streams differ" true (xs <> ys));
+    tc "int bounds" (fun () ->
+        let g = Prng.create 7 in
+        for _ = 1 to 1000 do
+          let v = Prng.int g 10 in
+          check_bool "in range" true (v >= 0 && v < 10)
+        done);
+    tc "string over alphabet" (fun () ->
+        let g = Prng.create 3 in
+        let s = Prng.string g Alphabet.dna 50 in
+        check_int "length" 50 (String.length s);
+        check_bool "alphabet" true (Alphabet.contains_string Alphabet.dna s));
+    tc "copy is independent" (fun () ->
+        let a = Prng.create 9 in
+        let _ = Prng.int a 100 in
+        let b = Prng.copy a in
+        check_int "same continuation" (Prng.int a 1000) (Prng.int b 1000));
+    tc "float range" (fun () ->
+        let g = Prng.create 11 in
+        for _ = 1 to 1000 do
+          let f = Prng.float g in
+          check_bool "unit interval" true (f >= 0.0 && f < 1.0)
+        done);
+  ]
+
+let suites =
+  [
+    ("util.alphabet", alphabet_tests);
+    ("util.strutil", strutil_tests);
+    ("util.prng", prng_tests);
+  ]

@@ -1,0 +1,111 @@
+open Strdb
+open Helpers
+
+let workload_tests =
+  [
+    tc "generators are deterministic" (fun () ->
+        check_bool "dna" true
+          (Workload.dna_strings ~seed:1 ~n:5 ~len:8 = Workload.dna_strings ~seed:1 ~n:5 ~len:8);
+        check_bool "cnf" true
+          (Workload.random_cnf ~seed:2 ~vars:5 ~clauses:4 ~width:3
+          = Workload.random_cnf ~seed:2 ~vars:5 ~clauses:4 ~width:3));
+    tc "dna strings are well-formed" (fun () ->
+        List.iter
+          (fun s ->
+            check_int "length" 8 (String.length s);
+            check_bool "alphabet" true (Alphabet.contains_string Alphabet.dna s))
+          (Workload.dna_strings ~seed:3 ~n:10 ~len:8));
+    tc "mutated pairs respect the edit budget" (fun () ->
+        List.iter
+          (fun (u, v) ->
+            check_bool
+              (Printf.sprintf "(%s,%s)" u v)
+              true
+              (Edit_distance.distance u v <= 2))
+          (Workload.mutated_pairs Alphabet.dna ~seed:4 ~n:20 ~len:10 ~edits:2));
+    tc "planted motifs contain the motif" (fun () ->
+        let g = Prng.create 5 in
+        for _ = 1 to 20 do
+          let s = Workload.plant_motif g Alphabet.dna ~motif:"acgt" ~len:12 in
+          check_bool s true (Strutil.is_substring "acgt" s)
+        done);
+    tc "random cnf shape" (fun () ->
+        let cnf = Workload.random_cnf ~seed:6 ~vars:6 ~clauses:10 ~width:3 in
+        check_int "clauses" 10 (List.length cnf);
+        List.iter
+          (fun c ->
+            check_int "width" 3 (List.length c);
+            check_int "distinct vars" 3
+              (List.length (List.sort_uniq compare (List.map abs c)));
+            List.iter (fun l -> check_bool "range" true (abs l >= 1 && abs l <= 6)) c)
+          cnf);
+    tc "shuffled triples really interleave" (fun () ->
+        List.iter
+          (fun (w, u, v) -> check_bool w true (Strutil.is_shuffle w u v))
+          (Workload.shuffled_triples Alphabet.binary ~seed:7 ~n:20 ~len:4));
+    tc "genomic db has the right shape" (fun () ->
+        let db = Workload.genomic_db ~seed:8 ~n:10 ~len:6 in
+        check_int "seq arity" 1 (Database.arity db "seq");
+        check_int "pair arity" 2 (Database.arity db "pair");
+        Database.check_alphabet Alphabet.dna db);
+  ]
+
+let baseline_tests =
+  [
+    tc "edit distance basics" (fun () ->
+        check_int "same" 0 (Edit_distance.distance "abc" "abc");
+        check_int "sub" 1 (Edit_distance.distance "abc" "axc");
+        check_int "ins" 1 (Edit_distance.distance "abc" "abxc");
+        check_int "del" 1 (Edit_distance.distance "abc" "ac");
+        check_int "empty" 3 (Edit_distance.distance "" "abc");
+        check_int "kitten" 3 (Edit_distance.distance "kitten" "sitting"));
+    tc "banded within agrees with full DP" (fun () ->
+        forall_seeded ~iters:100 (fun g _ ->
+            let u = Prng.string_upto g Alphabet.binary 6 in
+            let v = Prng.string_upto g Alphabet.binary 6 in
+            let k = Prng.int g 4 in
+            check_bool
+              (Printf.sprintf "%s %s %d" u v k)
+              (Edit_distance.distance u v <= k)
+              (Edit_distance.within u v k)));
+    tc "kmp agrees with naive search" (fun () ->
+        forall_seeded ~iters:100 (fun g _ ->
+            let p = Prng.string_upto g Alphabet.binary 3 in
+            let t = Prng.string_upto g Alphabet.binary 8 in
+            check_bool
+              (Printf.sprintf "%S in %S" p t)
+              (Strmatch.naive_find ~pattern:p t = Strmatch.kmp_find ~pattern:p t)
+              true));
+    tc "count_occurrences" (fun () ->
+        check_int "aba in ababa" 2 (Strmatch.count_occurrences ~pattern:"aba" "ababa");
+        check_int "empty pattern" 4 (Strmatch.count_occurrences ~pattern:"" "abc"));
+    tc "dpll on crafted formulae" (fun () ->
+        check_bool "sat" true (Dpll.satisfiable [ [ 1; 2 ]; [ -1 ] ]);
+        check_bool "unsat" false (Dpll.satisfiable [ [ 1 ]; [ -1 ] ]);
+        check_bool "empty cnf" true (Dpll.satisfiable []);
+        check_bool "empty clause" false (Dpll.satisfiable [ [] ]));
+    tc "dpll models really satisfy" (fun () ->
+        forall_seeded ~iters:50 (fun g seed ->
+            let cnf =
+              Workload.random_cnf ~seed:(seed * 3) ~vars:5
+                ~clauses:(3 + Prng.int g 8) ~width:3
+            in
+            match Dpll.solve cnf with
+            | None ->
+                (* cross-check with brute force *)
+                let vars = Dpll.vars cnf in
+                let rec assignments = function
+                  | [] -> [ [] ]
+                  | v :: rest ->
+                      List.concat_map
+                        (fun a -> [ (v, true) :: a; (v, false) :: a ])
+                        (assignments rest)
+                in
+                if List.exists (Dpll.eval cnf) (assignments vars) then
+                  Alcotest.failf "seed %d: DPLL missed a model" seed
+            | Some model ->
+                if not (Dpll.eval cnf model) then
+                  Alcotest.failf "seed %d: DPLL returned a non-model" seed));
+  ]
+
+let suites = [ ("workload.gen", workload_tests); ("workload.baselines", baseline_tests) ]
