@@ -41,3 +41,18 @@ let time_once f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Mean wall-clock seconds per run, repeating for at least [min_time]
+   seconds after one warm-up call.  Used where the before/after numbers
+   feed BENCH_runtime.json and must be plain floats. *)
+let time_per_run ?(min_time = 0.2) f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    ignore (f ());
+    incr n;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !n

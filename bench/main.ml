@@ -48,6 +48,88 @@ let fig6 () =
 
 (* -------------------------------------------------------------------- E1 *)
 
+(* The twelve Section 2 example queries, shared by the E1 section and the
+   runtime before/after bench (R1). *)
+let e1_queries () =
+  [
+    ( "Q1 second component of acga-pairs",
+      [ "x" ],
+      Formula.Exists
+        ( "y",
+          Formula.And
+            (Formula.Rel ("pair", [ "y"; "x" ]), Formula.Str (Combinators.literal "y" "acga"))
+        ) );
+    ( "Q2 equal pairs",
+      [ "u"; "v" ],
+      Formula.And
+        (Formula.Rel ("pair", [ "u"; "v" ]), Formula.Str (Combinators.equal_s "u" "v")) );
+    ( "Q3 concatenations of pairs",
+      [ "x" ],
+      Formula.exists_many [ "u"; "v" ]
+        (Formula.and_list
+           [ Formula.Rel ("pair", [ "u"; "v" ]); Formula.Str (Combinators.concat3 "x" "u" "v") ])
+    );
+    ( "Q4 manifold pairs",
+      [ "x"; "y" ],
+      Formula.and_list
+        [
+          Formula.Rel ("seq", [ "x" ]); Formula.Rel ("seq", [ "y" ]);
+          Formula.Str (Combinators.manifold "x" "y");
+        ] );
+    ( "Q5 shuffles of pairs found in seq",
+      [ "x" ],
+      Formula.exists_many [ "u"; "v" ]
+        (Formula.and_list
+           [
+             Formula.Rel ("pair", [ "u"; "v" ]); Formula.Rel ("seq", [ "x" ]);
+             Formula.Str (Combinators.shuffle3 "x" "u" "v");
+           ]) );
+    ( "Q6 sequences matching (gc+a)*",
+      [ "x" ],
+      Formula.And
+        ( Formula.Rel ("seq", [ "x" ]),
+          Formula.Str (Regex_embed.matches "x" (Regex.parse "(gc+a)*")) ) );
+    ( "Q7 pairs where u occurs in v",
+      [ "u"; "v" ],
+      Formula.And
+        (Formula.Rel ("pair", [ "u"; "v" ]), Formula.Str (Combinators.occurs_in "u" "v")) );
+    ( "Q8 pairs within edit distance 2",
+      [ "u"; "v" ],
+      Formula.And
+        ( Formula.Rel ("pair", [ "u"; "v" ]),
+          Formula.Str (Combinators.edit_distance_le "u" "v" 2) ) );
+    ( "Q9 aXtXa structures",
+      [ "x" ],
+      Formula.exists_many [ "u"; "w" ]
+        (Formula.and_list
+           [
+             Formula.Rel ("seq", [ "x" ]);
+             Formula.Str (Combinators.equal_s "u" "w");
+             Formula.Str (Combinators.axbxa "x" "u" "w" 'a' 't');
+           ]) );
+    (let counting, same_len = Combinators.equal_count_parts "x" "y" "z" 'a' 'c' in
+     ( "Q10 balanced a/c sequences",
+       [ "x" ],
+       Formula.exists_many [ "y"; "z" ]
+         (Formula.and_list
+            [ Formula.Rel ("seq", [ "x" ]); Formula.Str counting; Formula.Str same_len ]) ));
+    ( "Q11 a^n c^n g^n sequences",
+      [ "x" ],
+      Formula.Exists
+        ( "y",
+          Formula.And
+            (Formula.Rel ("seq", [ "x" ]), Formula.Str (Combinators.anbncn "x" "y")) ) );
+    (let split, translated =
+       Combinators.translation_halves_parts "x" "y" "z"
+         [ ('a', 't'); ('t', 'a'); ('c', 'g'); ('g', 'c') ]
+     in
+     ( "Q12 complementary halves",
+       [ "x" ],
+       Formula.exists_many [ "y"; "z" ]
+         (Formula.and_list
+            [ Formula.Rel ("seq", [ "x" ]); Formula.Str split; Formula.Str translated ]) ));
+  ]
+
 let example_queries () =
   B.section "E1 — the twelve Section 2 example queries on a DNA database";
   let db = Workload.genomic_db ~seed:11 ~n:(if quick then 8 else 16) ~len:6 in
@@ -55,81 +137,16 @@ let example_queries () =
   Printf.printf "database: %d sequences, %d pairs\n"
     (List.length (Database.find db "seq"))
     (List.length pairs);
-  let q name free phi =
-    let query = Query.make ~free phi in
-    let result, dt = B.time_once (fun () -> Query.run dna db query) in
-    match result with
-    | Ok answers ->
-        Printf.printf "  %-34s %4d answers  %8.2f ms\n%!" name
-          (List.length answers) (dt *. 1e3)
-    | Error e -> Printf.printf "  %-34s rejected (%s)\n%!" name e
-  in
-  q "Q1 second component of acga-pairs" [ "x" ]
-    (Formula.Exists
-       ( "y",
-         Formula.And
-           (Formula.Rel ("pair", [ "y"; "x" ]), Formula.Str (Combinators.literal "y" "acga"))
-       ));
-  q "Q2 equal pairs" [ "u"; "v" ]
-    (Formula.And
-       (Formula.Rel ("pair", [ "u"; "v" ]), Formula.Str (Combinators.equal_s "u" "v")));
-  q "Q3 concatenations of pairs" [ "x" ]
-    (Formula.exists_many [ "u"; "v" ]
-       (Formula.and_list
-          [ Formula.Rel ("pair", [ "u"; "v" ]); Formula.Str (Combinators.concat3 "x" "u" "v") ]));
-  q "Q4 manifold pairs" [ "x"; "y" ]
-    (Formula.and_list
-       [
-         Formula.Rel ("seq", [ "x" ]); Formula.Rel ("seq", [ "y" ]);
-         Formula.Str (Combinators.manifold "x" "y");
-       ]);
-  q "Q5 shuffles of pairs found in seq" [ "x" ]
-    (Formula.exists_many [ "u"; "v" ]
-       (Formula.and_list
-          [
-            Formula.Rel ("pair", [ "u"; "v" ]); Formula.Rel ("seq", [ "x" ]);
-            Formula.Str (Combinators.shuffle3 "x" "u" "v");
-          ]));
-  q "Q6 sequences matching (gc+a)*" [ "x" ]
-    (Formula.And
-       ( Formula.Rel ("seq", [ "x" ]),
-         Formula.Str (Regex_embed.matches "x" (Regex.parse "(gc+a)*")) ));
-  q "Q7 pairs where u occurs in v" [ "u"; "v" ]
-    (Formula.And
-       (Formula.Rel ("pair", [ "u"; "v" ]), Formula.Str (Combinators.occurs_in "u" "v")));
-  q "Q8 pairs within edit distance 2" [ "u"; "v" ]
-    (Formula.And
-       ( Formula.Rel ("pair", [ "u"; "v" ]),
-         Formula.Str (Combinators.edit_distance_le "u" "v" 2) ));
-  q "Q9 aXtXa structures" [ "x" ]
-    (Formula.exists_many [ "u"; "w" ]
-       (Formula.and_list
-          [
-            Formula.Rel ("seq", [ "x" ]);
-            Formula.Str (Combinators.equal_s "u" "w");
-            Formula.Str (Combinators.axbxa "x" "u" "w" 'a' 't');
-          ]));
-  (let counting, same_len = Combinators.equal_count_parts "x" "y" "z" 'a' 'c' in
-   q "Q10 balanced a/c sequences" [ "x" ]
-     (Formula.exists_many [ "y"; "z" ]
-        (Formula.and_list
-           [ Formula.Rel ("seq", [ "x" ]); Formula.Str counting; Formula.Str same_len ])));
-  q "Q11 a^n c^n g^n sequences" [ "x" ]
-    (Formula.Exists
-       ( "y",
-         Formula.And
-           ( Formula.Rel ("seq", [ "x" ]),
-             Formula.Str
-               (Sformula.map_vars (fun v -> v) (Combinators.anbncn "x" "y")
-               |> fun phi -> phi) ) ));
-  (let split, translated =
-     Combinators.translation_halves_parts "x" "y" "z"
-       [ ('a', 't'); ('t', 'a'); ('c', 'g'); ('g', 'c') ]
-   in
-   q "Q12 complementary halves" [ "x" ]
-     (Formula.exists_many [ "y"; "z" ]
-        (Formula.and_list
-           [ Formula.Rel ("seq", [ "x" ]); Formula.Str split; Formula.Str translated ])))
+  List.iter
+    (fun (name, free, phi) ->
+      let query = Query.make ~free phi in
+      let result, dt = B.time_once (fun () -> Query.run dna db query) in
+      match result with
+      | Ok answers ->
+          Printf.printf "  %-34s %4d answers  %8.2f ms\n%!" name
+            (List.length answers) (dt *. 1e3)
+      | Error e -> Printf.printf "  %-34s rejected (%s)\n%!" name e)
+    (e1_queries ())
 
 (* -------------------------------------------------------------------- E2 *)
 
@@ -380,6 +397,134 @@ let strategy_ablation () =
     run "algebra, Materialize, cutoff 6 (exponential)" (fun () ->
         Ok (Query.run_truncated ~strategy:Algebra.Materialize b2 db ~cutoff:6 q))
 
+(* -------------------------------------------------------------------- R1 *)
+
+(* Before/after for the packed/indexed runtime: the naive reference
+   implementations stay in the tree (Run.accepts_naive,
+   Generate.accepted_naive, the Runtime toggle for the whole pipeline),
+   so the comparison runs on identical workloads in one process.  The
+   numbers land in BENCH_runtime.json for the perf trajectory. *)
+let runtime_bench () =
+  B.section "R1 — packed/indexed runtime vs naive reference";
+  let g = Prng.create 123 in
+  let accept_cases =
+    [
+      ("equal_s", (if quick then 64 else 256), Combinators.equal_s "x" "y",
+       fun u -> [ u; u ]);
+      ("occurs_in", (if quick then 64 else 256), Combinators.occurs_in "x" "y",
+       fun u -> [ u; Strutil.repeat u 2 ]);
+      ("manifold_2way", (if quick then 32 else 128), Combinators.manifold "x" "y",
+       fun u -> [ Strutil.repeat u 2; u ]);
+    ]
+  in
+  let accept_rows =
+    List.map
+      (fun (name, n, phi, mk) ->
+        let fsa = Compile.compile dna ~vars:[ "x"; "y" ] phi in
+        let input = mk (Prng.string g dna n) in
+        let naive = B.time_per_run (fun () -> Run.accepts_naive fsa input) in
+        let fast = B.time_per_run (fun () -> Run.accepts fsa input) in
+        Printf.printf "  accept %-14s n=%-4d  naive %s  fast %s  speedup %6.1fx\n%!"
+          name n
+          (B.pretty_ns (naive *. 1e9))
+          (B.pretty_ns (fast *. 1e9))
+          (naive /. fast);
+        (name, n, naive, fast))
+      accept_cases
+  in
+  let gen_cases =
+    [
+      ("concat3", b2, [ "x"; "y"; "z" ], Combinators.concat3 "x" "y" "z",
+       if quick then 3 else 5);
+      ("prefix", b2, [ "x"; "y" ], Combinators.prefix "x" "y",
+       if quick then 4 else 8);
+    ]
+  in
+  let gen_rows =
+    List.map
+      (fun (name, sigma, vars, phi, max_len) ->
+        let fsa = Compile.compile sigma ~vars phi in
+        let naive = B.time_per_run (fun () -> Generate.accepted_naive fsa ~max_len) in
+        let fast = B.time_per_run (fun () -> Generate.accepted_fast fsa ~max_len) in
+        Printf.printf "  generate %-12s l=%-4d  naive %s  fast %s  speedup %6.1fx\n%!"
+          name max_len
+          (B.pretty_ns (naive *. 1e9))
+          (B.pretty_ns (fast *. 1e9))
+          (naive /. fast);
+        (name, max_len, naive, fast))
+      gen_cases
+  in
+  (* The E1 query suite end-to-end, runtime off vs. on.  Each query is
+     evaluated repeatedly (time_per_run), the steady-state workload the
+     compile memo targets: with the runtime off every run recompiles its
+     string formulas from scratch, with it on the compiled FSAs and their
+     dispatch indices are reused across runs. *)
+  let db = Workload.genomic_db ~seed:11 ~n:(if quick then 8 else 16) ~len:6 in
+  let queries = e1_queries () in
+  let run_suite () =
+    List.map
+      (fun (name, free, phi) ->
+        let q = Query.make ~free phi in
+        let dt = B.time_per_run ~min_time:0.3 (fun () -> Query.run dna db q) in
+        (name, dt))
+      queries
+  in
+  Runtime.set_enabled false;
+  Runtime.clear_cache ();
+  Compile.clear_cache ();
+  let before = run_suite () in
+  Runtime.set_enabled true;
+  Runtime.clear_cache ();
+  Compile.clear_cache ();
+  let after = run_suite () in
+  let total l = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 l in
+  let before_total = total before and after_total = total after in
+  Printf.printf "  E1 suite: naive %.1f ms, runtime %.1f ms, speedup %.2fx\n%!"
+    (before_total *. 1e3) (after_total *. 1e3)
+    (before_total /. after_total);
+  (* Emit the JSON record. *)
+  let oc = open_out "BENCH_runtime.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"runtime\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"acceptance\": [\n";
+  List.iteri
+    (fun i (name, n, naive, fast) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"n\": %d, \"naive_ns\": %.0f, \"fast_ns\": %.0f, \
+         \"speedup\": %.2f}%s\n"
+        name n (naive *. 1e9) (fast *. 1e9) (naive /. fast)
+        (if i = List.length accept_rows - 1 then "" else ","))
+    accept_rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"generate\": [\n";
+  List.iteri
+    (fun i (name, max_len, naive, fast) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"max_len\": %d, \"naive_ns\": %.0f, \"fast_ns\": %.0f, \
+         \"speedup\": %.2f}%s\n"
+        name max_len (naive *. 1e9) (fast *. 1e9) (naive /. fast)
+        (if i = List.length gen_rows - 1 then "" else ","))
+    gen_rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"e1_suite\": {\n";
+  Printf.fprintf oc "    \"before_ms\": %.2f,\n" (before_total *. 1e3);
+  Printf.fprintf oc "    \"after_ms\": %.2f,\n" (after_total *. 1e3);
+  Printf.fprintf oc "    \"speedup\": %.2f,\n" (before_total /. after_total);
+  Printf.fprintf oc "    \"queries\": [\n";
+  List.iteri
+    (fun i ((name, b), (_, a)) ->
+      Printf.fprintf oc
+        "      {\"name\": %S, \"before_ms\": %.2f, \"after_ms\": %.2f}%s\n" name
+        (b *. 1e3) (a *. 1e3)
+        (if i = List.length before - 1 then "" else ","))
+    (List.combine before after);
+  Printf.fprintf oc "    ]\n";
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_runtime.json\n%!"
+
 (* ------------------------------------------------------------------- T51 *)
 
 let grammar_bench () =
@@ -484,7 +629,15 @@ let edit_distance_bench () =
   in
   B.print_rows ~quota:0.25 tests
 
+let only_runtime = Array.exists (fun a -> a = "runtime") Sys.argv
+
 let () =
+  if only_runtime then begin
+    Printf.printf "strdb benchmark harness — runtime section only (%s mode)\n"
+      (if quick then "quick" else "full");
+    runtime_bench ();
+    exit 0
+  end;
   Printf.printf "strdb benchmark harness — %s mode\n"
     (if quick then "quick" else "full");
   fig12 ();
@@ -502,4 +655,5 @@ let () =
   strategy_ablation ();
   grammar_bench ();
   lba_bench ();
+  runtime_bench ();
   Printf.printf "\nall experiment sections completed.\n"

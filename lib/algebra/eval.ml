@@ -25,8 +25,10 @@ let rec quantifier_free = function
   | F.Not a -> quantifier_free a
   | F.Exists _ -> false
 
-(* A working table: the bound columns (variable names, in order) and rows. *)
-type table = { cols : F.var list; rows : string list list }
+(* A working table: the bound columns (variable names, in order) and rows
+   as arrays — every per-cell access is an O(1) [row.(i)] instead of the
+   former [List.nth]. *)
+type table = { cols : F.var list; rows : string array list }
 
 let col_index t v =
   let rec go i = function
@@ -38,35 +40,57 @@ let col_index t v =
 
 let bound t v = col_index t v <> None
 
+(* Hash join of the working table with relation [r] on the shared
+   columns: index the relation's tuples by their projection onto the
+   already-bound variables, then probe once per row — O(|rel| + |rows| +
+   |matches|) instead of the former nested loop. *)
 let join_rel db t (r, args) =
+  let args_arr = Array.of_list args in
+  let m = Array.length args_arr in
   let new_vars =
     List.sort_uniq compare (List.filter (fun v -> not (bound t v)) args)
   in
+  (* First tuple position of each argument variable. *)
+  let first_pos v =
+    let rec go j = if args_arr.(j) = v then j else go (j + 1) in
+    go 0
+  in
+  (* Repeated variables must agree within a tuple (both bound and fresh). *)
+  let dup_checks =
+    List.concat
+      (List.mapi
+         (fun j v -> if first_pos v <> j then [ (j, first_pos v) ] else [])
+         args)
+  in
+  (* Distinct bound variables, in first-occurrence order: the join key is
+     their values — tuple side reads position [first_pos v], row side
+     column [col_index t v]. *)
+  let distinct_bound =
+    List.filteri (fun j v -> first_pos v = j && bound t v) args
+    |> List.map (fun v -> (first_pos v, Option.get (col_index t v)))
+  in
+  let new_first = List.map first_pos new_vars in
+  let tuples = Db.find db r in
+  let tbl : (string list, string array) Hashtbl.t =
+    Hashtbl.create (max 16 (List.length tuples))
+  in
+  List.iter
+    (fun tup ->
+      let tup = Array.of_list tup in
+      if Array.length tup <> m then
+        invalid_arg
+          (Printf.sprintf "Eval: relation %s tuple arity %d, atom arity %d" r
+             (Array.length tup) m);
+      if List.for_all (fun (j, j') -> tup.(j) = tup.(j')) dup_checks then begin
+        let key = List.map (fun (j, _) -> tup.(j)) distinct_bound in
+        Hashtbl.add tbl key (Array.of_list (List.map (fun j -> tup.(j)) new_first))
+      end)
+    tuples;
   let rows =
     List.concat_map
       (fun row ->
-        let row_arr = Array.of_list row in
-        List.filter_map
-          (fun tup ->
-            (* Match tuple positions against already-bound columns, binding
-               the new ones; repeated variables must agree. *)
-            let fresh = Hashtbl.create 4 in
-            let ok =
-              List.for_all2
-                (fun v value ->
-                  match col_index t v with
-                  | Some i -> row_arr.(i) = value
-                  | None -> (
-                      match Hashtbl.find_opt fresh v with
-                      | Some value' -> value = value'
-                      | None ->
-                          Hashtbl.replace fresh v value;
-                          true))
-                args tup
-            in
-            if ok then Some (row @ List.map (Hashtbl.find fresh) new_vars)
-            else None)
-          (Db.find db r))
+        let key = List.map (fun (_, c) -> row.(c)) distinct_bound in
+        List.rev_map (fun news -> Array.append row news) (Hashtbl.find_all tbl key))
       t.rows
   in
   { cols = t.cols @ new_vars; rows = List.sort_uniq compare rows }
@@ -78,7 +102,7 @@ let rec eval_qf db checker t row = function
         List.map
           (fun v ->
             match col_index t v with
-            | Some i -> (v, List.nth row i)
+            | Some i -> (v, row.(i))
             | None -> invalid_arg "Eval: unbound variable in filter")
           (S.vars s)
       in
@@ -88,7 +112,7 @@ let rec eval_qf db checker t row = function
         List.map
           (fun v ->
             match col_index t v with
-            | Some i -> List.nth row i
+            | Some i -> row.(i)
             | None -> invalid_arg "Eval: unbound variable in filter")
           args
       in
@@ -144,7 +168,7 @@ let plan_and_run sigma db ~free phi ~dry_run =
       in
       let steps = ref [] in
       let record s = steps := s :: !steps in
-      let t = ref { cols = []; rows = [ [] ] } in
+      let t = ref { cols = []; rows = [ [||] ] } in
       (* 1. Relational joins. *)
       List.iter
         (fun (r, args) ->
@@ -206,20 +230,19 @@ let plan_and_run sigma db ~free phi ~dry_run =
                              b.Strdb_fsa.Limitation.formula ));
                     if dry_run then t := { !t with cols = !t.cols @ unknown }
                     else begin
+                      let known_idx =
+                        List.map (fun v -> Option.get (col_index !t v)) known
+                      in
                       let rows =
                         List.concat_map
                           (fun row ->
-                            let ins =
-                              List.map
-                                (fun v -> List.nth row (Option.get (col_index !t v)))
-                                known
-                            in
+                            let ins = List.map (fun i -> row.(i)) known_idx in
                             let per_row_bound =
                               b.Strdb_fsa.Limitation.eval (List.map String.length ins)
                             in
                             Strdb_fsa.Generate.outputs fsa ~inputs:ins
                               ~max_len:per_row_bound
-                            |> List.map (fun out -> row @ out))
+                            |> List.map (fun out -> Array.append row (Array.of_list out)))
                           !t.rows
                       in
                       t := { cols = !t.cols @ unknown; rows = List.sort_uniq compare rows }
@@ -260,9 +283,10 @@ let plan_and_run sigma db ~free phi ~dry_run =
             match !neg_error with
             | Some e -> Error e
             | None ->
-                let project row =
-                  List.map (fun v -> List.nth row (Option.get (col_index !t v))) free
+                let free_idx =
+                  List.map (fun v -> Option.get (col_index !t v)) free
                 in
+                let project row = List.map (fun i -> row.(i)) free_idx in
                 Ok
                   ( List.rev !steps,
                     if dry_run then []

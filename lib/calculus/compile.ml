@@ -217,7 +217,7 @@ let rec build sigma vars k = function
   | Sformula.Union (f, g) -> union_auto (build sigma vars k f) (build sigma vars k g)
   | Sformula.Star f -> star_auto sigma k (build sigma vars k f)
 
-let compile ?(trim = true) sigma ~vars phi =
+let compile_uncached ?(trim = true) sigma ~vars phi =
   let missing =
     List.filter (fun v -> not (List.mem v vars)) (Sformula.vars phi)
   in
@@ -249,5 +249,34 @@ let compile ?(trim = true) sigma ~vars phi =
       ~transitions:whole.trans
   in
   if trim then Fsa.trim fsa else fsa
+
+(* Memoized front door.  Eval.certify_generator and
+   Formula.compiled_checker recompile the same string formula per
+   conjunct/per query; the cache collapses those to one compilation.
+   Keys are structural — alphabet characters, tape order, formula, trim —
+   and compiled FSAs are immutable, so sharing is safe; sharing is in
+   fact desirable, because Runtime's dispatch index is keyed on the FSA's
+   physical identity and composes with this cache.  Bounded by reset (a
+   real workload cycles through a small set of formulae, so a full reset
+   is rare and merely costs a recompilation). *)
+let cache :
+    (char list * Window.var list * Sformula.t * bool, Fsa.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let cache_limit = 512
+let clear_cache () = Hashtbl.reset cache
+
+let compile ?(trim = true) sigma ~vars phi =
+  if not (Strdb_fsa.Runtime.enabled ()) then compile_uncached ~trim sigma ~vars phi
+  else begin
+    let key = (Strdb_util.Alphabet.chars sigma, vars, phi, trim) in
+    match Hashtbl.find_opt cache key with
+    | Some fsa -> fsa
+    | None ->
+        let fsa = compile_uncached ~trim sigma ~vars phi in
+        if Hashtbl.length cache >= cache_limit then Hashtbl.reset cache;
+        Hashtbl.replace cache key fsa;
+        fsa
+  end
 
 let compile_ordered sigma phi = compile sigma ~vars:(Sformula.vars phi) phi

@@ -32,7 +32,15 @@ val compile :
     heads on [⊢]) so that [L] matches truth in {e initial} alignments.
     [trim] (default true) prunes useless states — property 3; pass [false]
     for the size-ablation benches.
+
+    Results are memoized on [(sigma, vars, phi, trim)] while the
+    {!Strdb_fsa.Runtime} is enabled: repeated compilations (per conjunct,
+    per query) return the same — physically shared — automaton, which
+    also lets the runtime's per-FSA dispatch index hit its cache.
     @raise Invalid_argument when [vars] misses a variable of [phi]. *)
+
+val clear_cache : unit -> unit
+(** Drop the memo table (benchmark hygiene). *)
 
 val compile_ordered : Strdb_util.Alphabet.t -> Sformula.t -> Strdb_fsa.Fsa.t
 (** [compile sigma ~vars:(Sformula.vars phi) phi]: tapes in ascending

@@ -32,6 +32,7 @@ module Kleene = Strdb_automata.Kleene
 (* Multitape two-way acceptors. *)
 module Symbol = Strdb_fsa.Symbol
 module Fsa = Strdb_fsa.Fsa
+module Runtime = Strdb_fsa.Runtime
 module Run = Strdb_fsa.Run
 module Specialize = Strdb_fsa.Specialize
 module Generate = Strdb_fsa.Generate

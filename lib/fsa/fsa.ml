@@ -102,42 +102,40 @@ let disregard t l =
   make ~sigma:t.sigma ~arity:t.arity ~num_states:t.num_states ~start:t.start
     ~finals:(finals_list t) ~transitions
 
-let forward_reachable t =
-  let seen = Array.make t.num_states false in
-  let rec go = function
+(* Plain worklist over the [seen] array: each state is pushed at most
+   once and each transition inspected once, so reachability is
+   O(states + transitions). *)
+let saturate seen succs roots =
+  let work = ref [] in
+  let mark q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      work := q :: !work
+    end
+  in
+  List.iter mark roots;
+  let rec drain () =
+    match !work with
     | [] -> ()
     | q :: rest ->
-        let fresh =
-          List.filter_map
-            (fun i ->
-              let d = t.transitions.(i).dst in
-              if seen.(d) then None else Some d)
-            t.by_src.(q)
-          |> List.sort_uniq compare
-        in
-        List.iter (fun d -> seen.(d) <- true) fresh;
-        go (fresh @ rest)
+        work := rest;
+        succs q mark;
+        drain ()
   in
-  seen.(t.start) <- true;
-  go [ t.start ];
+  drain ()
+
+let forward_reachable t =
+  let seen = Array.make t.num_states false in
+  saturate seen
+    (fun q mark -> List.iter (fun i -> mark t.transitions.(i).dst) t.by_src.(q))
+    [ t.start ];
   seen
 
 let reverse_reachable t =
   let preds = Array.make t.num_states [] in
   Array.iter (fun tr -> preds.(tr.dst) <- tr.src :: preds.(tr.dst)) t.transitions;
   let seen = Array.make t.num_states false in
-  let rec go = function
-    | [] -> ()
-    | q :: rest ->
-        let fresh =
-          List.filter (fun p -> not seen.(p)) preds.(q) |> List.sort_uniq compare
-        in
-        List.iter (fun p -> seen.(p) <- true) fresh;
-        go (fresh @ rest)
-  in
-  let finals = finals_list t in
-  List.iter (fun q -> seen.(q) <- true) finals;
-  go finals;
+  saturate seen (fun q mark -> List.iter mark preds.(q)) (finals_list t);
   seen
 
 let useful_states t =

@@ -14,7 +14,19 @@ val accepted : Fsa.t -> max_len:int -> string list list
 (** [accepted a ~max_len] is every tuple of [L(a)] whose components all have
     length at most [max_len], sorted.  When an accepting computation halts
     without having examined the whole of some tape, all extensions of the
-    committed prefix up to [max_len] are accepted and are all enumerated. *)
+    committed prefix up to [max_len] are accepted and are all enumerated.
+
+    With the {!Runtime} enabled (default) the enumerator interns committed
+    prefixes in a pool — committing a character is O(1) instead of an O(n)
+    string copy — and dispatches transitions through the indexed table. *)
+
+val accepted_naive : Fsa.t -> max_len:int -> string list list
+(** The original enumerator (string-valued prefixes, [List.filter]
+    dispatch); the reference the qcheck suite checks {!accepted} against. *)
+
+val accepted_fast : Fsa.t -> max_len:int -> string list list
+(** The runtime-backed enumerator, regardless of the toggle (for direct
+    cross-checking in tests and benches). *)
 
 val outputs : Fsa.t -> inputs:string list -> max_len:int -> string list list
 (** [outputs a ~inputs ~max_len] fixes the first tapes to [inputs]

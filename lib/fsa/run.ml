@@ -73,8 +73,14 @@ let search ~order (a : Fsa.t) ws0 =
   in
   go ()
 
-let accepts a ws = search ~order:`Bfs a ws
+let accepts_naive a ws = search ~order:`Bfs a ws
 let accepts_dfs a ws = search ~order:`Dfs a ws
+
+let accepts a ws =
+  check_input a ws;
+  match Runtime.try_accepts a ws with
+  | Some b -> b
+  | None -> accepts_naive a ws
 
 let accepting_trace (a : Fsa.t) ws0 =
   check_input a ws0;

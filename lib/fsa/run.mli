@@ -23,14 +23,22 @@ val successors : Fsa.t -> string array -> config -> config list
 (** The next configurations. *)
 
 val accepts : Fsa.t -> string list -> bool
-(** [accepts a ws] decides [ws ∈ L(a)] by breadth-first search over the
-    configuration graph (Theorem 3.3).  @raise Invalid_argument if the tuple
-    arity differs from the FSA's or a string uses characters outside the
-    alphabet. *)
+(** [accepts a ws] decides [ws ∈ L(a)] by search over the configuration
+    graph (Theorem 3.3): the packed, indexed engine of {!Runtime} when
+    available (and enabled), the naive search otherwise.
+    @raise Invalid_argument if the tuple arity differs from the FSA's or a
+    string uses characters outside the alphabet. *)
+
+val accepts_naive : Fsa.t -> string list -> bool
+(** The reference decision procedure: breadth-first search with
+    polymorphic-hashtable configuration keys, exactly as before the
+    {!Runtime} engine existed.  Kept for benches and the qcheck
+    equivalence suite. *)
 
 val accepts_dfs : Fsa.t -> string list -> bool
-(** Ablation baseline: depth-first search with a visited set.  Decides the
-    same language; included so benches can compare traversal orders. *)
+(** Ablation baseline: naive depth-first search with a visited set.
+    Decides the same language; included so benches can compare traversal
+    orders. *)
 
 val accepting_trace : Fsa.t -> string list -> config list option
 (** A witnessing computation (list of configurations from the initial one to

@@ -1,0 +1,90 @@
+(** The high-performance k-FSA runtime.
+
+    Theorem 3.3's acceptance search and the Generate/Eval loops above it
+    are the system's hot paths.  This module packages the three
+    ingredients they share:
+
+    - {b indexed transition dispatch}: per FSA (cached on first use,
+      keyed on physical identity), a [state × symbol-vector-code ↦
+      transitions] table.  Read vectors are concrete, so the enabled set
+      is an exact-match lookup instead of a [List.filter] over
+      [Fsa.outgoing];
+    - {b packed configuration keys}: a configuration [(q, p₁..p_k)] on
+      inputs of lengths [n₁..n_k] packs into one int whenever
+      [states·Π(nᵢ+2)] fits in an OCaml int, giving an allocation-free
+      search with a flat bitmap (small key spaces) or a monomorphic
+      open-addressing int set (large ones) as the visited set;
+    - a {b global toggle} consulted by [Run], [Generate] and
+      [Compile]: with the runtime disabled they fall back to the naive
+      reference implementations, which is how the benches measure
+      before/after and how the qcheck suite cross-checks semantics. *)
+
+val enabled : unit -> bool
+(** Is the fast runtime switched on (default: yes)? *)
+
+val set_enabled : bool -> unit
+(** Toggle the fast paths ([Run.accepts], [Generate.accepted], the
+    [Compile.compile] memo cache).  The naive implementations are always
+    reachable directly regardless of the toggle. *)
+
+(** {1 Transition dispatch} *)
+
+type t
+(** A dispatch index for one FSA. *)
+
+val index : Fsa.t -> t
+(** [index a] is the dispatch index of [a], built on first use and
+    cached (bounded, keyed on physical identity — FSAs are immutable
+    after construction). *)
+
+val clear_cache : unit -> unit
+(** Drop all cached indices (benchmark hygiene). *)
+
+val indexable : t -> bool
+(** False when [(|Σ|+2)^arity] overflows the code budget; dispatch and
+    packed acceptance then decline and callers keep the naive path. *)
+
+val code_of_symbols : t -> Symbol.t array -> int
+(** The mixed-radix code of a symbol vector: [Σᵢ rank(sᵢ)·(|Σ|+2)ⁱ] with
+    characters ranked by the alphabet, then [⊢], then [⊣].  Only valid
+    when [indexable]. *)
+
+val transitions_for : t -> state:int -> code:int -> int array
+(** Indices (into [Fsa.transitions]) of the transitions leaving [state]
+    whose read vector has code [code] — exactly the enabled transitions
+    of a configuration observing that vector.  The returned array is
+    shared; do not mutate. *)
+
+val transition : t -> int -> Fsa.transition
+(** Resolve a transition index. *)
+
+val outgoing : t -> int -> Fsa.transition array
+(** All transitions leaving a state, as a shared array (the array-backed
+    counterpart of [Fsa.outgoing]). *)
+
+(** {1 Packed configuration keys} *)
+
+type layout = {
+  states : int;
+  dims : int array;  (** [dims.(i) = nᵢ + 2]: head positions per tape. *)
+  steps : int array;  (** mixed-radix strides: [states·Π_{j<i} dims.(j)]. *)
+  total : int;  (** number of distinct keys, [states·Π dims]. *)
+}
+
+val layout : Fsa.t -> int array -> layout option
+(** [layout a lens] is the packing layout for inputs of the given
+    lengths, or [None] when [states·Π(lensᵢ+2)] overflows an int. *)
+
+val pack : layout -> state:int -> pos:int array -> int
+(** Injective encoding of a configuration into [0..total-1]. *)
+
+val unpack : layout -> int -> int * int array
+(** Inverse of {!pack}: [(state, positions)]. *)
+
+(** {1 Acceptance} *)
+
+val try_accepts : Fsa.t -> string list -> bool option
+(** The packed acceptance search (Theorem 3.3 over int keys).  [None]
+    when the runtime is disabled, the FSA is not indexable, or the input
+    is not packable; the caller then uses the naive search.  Assumes the
+    input was validated ([Run.accepts] does this). *)

@@ -129,6 +129,34 @@ let run_props =
         Run.accepts spec [ v ] = Run.accepts fsa [ u; v ]);
   ]
 
+let runtime_props =
+  [
+    prop ~count:100 "runtime accepts ≡ naive accepts"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) arb_string_pair)
+      (fun (phi, (u, v)) ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        Run.accepts fsa [ u; v ] = Run.accepts_naive fsa [ u; v ]);
+    prop ~count:60 "runtime enumerator ≡ naive enumerator"
+      (arb_sformula [ "x"; "y" ])
+      (fun phi ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        Generate.accepted_fast fsa ~max_len:2 = Generate.accepted_naive fsa ~max_len:2);
+    prop ~count:25 "Query pipeline agrees with the runtime disabled"
+      (arb_sformula [ "u"; "x" ])
+      (fun s ->
+        let db = Workload.pair_db b ~seed:7 ~name:"pair" ~n:3 ~len:2 in
+        let phi = Formula.And (Formula.Rel ("pair", [ "u"; "v" ]), Formula.Str s) in
+        let free = Formula.free_vars phi in
+        Fun.protect
+          ~finally:(fun () -> Runtime.set_enabled true)
+          (fun () ->
+            Runtime.set_enabled false;
+            let slow = Eval.run b db ~free phi in
+            Runtime.set_enabled true;
+            let fast = Eval.run b db ~free phi in
+            slow = fast));
+  ]
+
 let baseline_props =
   [
     prop "edit distance is a metric (symmetry)" arb_string_pair (fun (u, v) ->
@@ -210,6 +238,7 @@ let suites =
   [
     ("qcheck.compile", compile_props);
     ("qcheck.run", run_props);
+    ("qcheck.runtime", runtime_props);
     ("qcheck.baselines", baseline_props);
     ("qcheck.alignment", alignment_props);
     ("qcheck.truncation", truncation_props);

@@ -1,0 +1,193 @@
+(* The fast k-FSA runtime: packed configuration keys, indexed transition
+   dispatch, and the compile memo cache.  Covers the encode/decode
+   round trips at boundary tape lengths and the dispatch ≡ List.filter
+   property; cross-implementation equivalence on random formulae lives in
+   test_qcheck.ml. *)
+open Strdb
+open Helpers
+
+let b = Alphabet.binary
+let dna = Alphabet.dna
+
+(* ---------------------------------------------------------------- keys *)
+
+let key_tests =
+  [
+    tc "pack/unpack round trip at boundary tape lengths" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+        (* Lengths 0, 1 and a longer mix, including the extreme head
+           positions 0 and n+1 on each tape. *)
+        List.iter
+          (fun lens ->
+            match Runtime.layout fsa (Array.of_list lens) with
+            | None -> Alcotest.failf "layout refused small lengths"
+            | Some l ->
+                let dims = List.map (fun n -> n + 2) lens in
+                let rec positions = function
+                  | [] -> [ [] ]
+                  | d :: rest ->
+                      let tails = positions rest in
+                      List.concat_map
+                        (fun p -> List.map (fun t -> p :: t) tails)
+                        (List.init d (fun i -> i))
+                in
+                let seen = Hashtbl.create 256 in
+                List.iter
+                  (fun pos ->
+                    for state = 0 to fsa.Fsa.num_states - 1 do
+                      let pos = Array.of_list pos in
+                      let key = Runtime.pack l ~state ~pos in
+                      check_bool "key in range" true (key >= 0 && key < l.Runtime.total);
+                      check_bool "key unique" false (Hashtbl.mem seen key);
+                      Hashtbl.replace seen key ();
+                      let state', pos' = Runtime.unpack l key in
+                      check_int "state round trip" state state';
+                      check_bool "pos round trip" true (pos = pos')
+                    done)
+                  (positions dims))
+          [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 3; 5 ] ]);
+    tc "layout totals count every configuration" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x" ] (Combinators.literal "x" "ab") in
+        match Runtime.layout fsa [| 4 |] with
+        | None -> Alcotest.fail "layout refused"
+        | Some l ->
+            check_int "total" (fsa.Fsa.num_states * 6) l.Runtime.total);
+    tc "layout declines overflowing key spaces" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+        check_bool "overflow is None" true
+          (Runtime.layout fsa [| max_int / 2; max_int / 2 |] = None));
+  ]
+
+(* ------------------------------------------------------------ dispatch *)
+
+let dispatch_tests =
+  [
+    tc "indexed dispatch equals List.filter over outgoing" (fun () ->
+        forall_seeded ~iters:40 (fun g seed ->
+            let phi = random_sformula g b [ "x"; "y" ] 3 in
+            let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+            let rt = Runtime.index fsa in
+            check_bool "indexable" true (Runtime.indexable rt);
+            let syms = Symbol.all b in
+            List.iter
+              (fun s0 ->
+                List.iter
+                  (fun s1 ->
+                    let vec = [| s0; s1 |] in
+                    let code = Runtime.code_of_symbols rt vec in
+                    for q = 0 to fsa.Fsa.num_states - 1 do
+                      let got =
+                        Runtime.transitions_for rt ~state:q ~code
+                        |> Array.to_list
+                        |> List.map (Runtime.transition rt)
+                      in
+                      let want =
+                        List.filter
+                          (fun (tr : Fsa.transition) ->
+                            Array.for_all2 Symbol.equal tr.read vec)
+                          (Fsa.outgoing fsa q)
+                      in
+                      if got <> want then
+                        Alcotest.failf "seed %d: dispatch mismatch at state %d" seed q
+                    done)
+                  syms)
+              syms));
+    tc "symbol-vector codes are injective" (fun () ->
+        let fsa = Compile.compile dna ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+        let rt = Runtime.index fsa in
+        let syms = Symbol.all dna in
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun s0 ->
+            List.iter
+              (fun s1 ->
+                let code = Runtime.code_of_symbols rt [| s0; s1 |] in
+                check_bool "code fresh" false (Hashtbl.mem seen code);
+                Hashtbl.replace seen code ())
+              syms)
+          syms);
+    tc "index is cached per FSA identity" (fun () ->
+        let fsa = Compile.compile b ~vars:[ "x" ] (Combinators.literal "x" "ab") in
+        check_bool "same index" true (Runtime.index fsa == Runtime.index fsa));
+  ]
+
+(* ----------------------------------------------------------- acceptance *)
+
+let acceptance_tests =
+  [
+    tc "packed acceptance agrees with naive on worked examples" (fun () ->
+        let occ = Compile.compile dna ~vars:[ "x"; "y" ] (Combinators.occurs_in "x" "y") in
+        List.iter
+          (fun tup ->
+            check_bool
+              (Printf.sprintf "occurs_in (%s)" (String.concat "," tup))
+              (Run.accepts_naive occ tup) (Run.accepts occ tup))
+          [
+            [ "ac"; "gacga" ]; [ "ac"; "gtt" ]; [ ""; "" ]; [ ""; "a" ];
+            [ "acgt"; "acgt" ]; [ "t"; "" ];
+          ]);
+    tc "toggle: disabled runtime still answers identically" (fun () ->
+        let eq = Compile.compile b ~vars:[ "x"; "y" ] (Combinators.equal_s "x" "y") in
+        Runtime.set_enabled false;
+        let off = (Run.accepts eq [ "ab"; "ab" ], Run.accepts eq [ "ab"; "ba" ]) in
+        Runtime.set_enabled true;
+        let on = (Run.accepts eq [ "ab"; "ab" ], Run.accepts eq [ "ab"; "ba" ]) in
+        check_bool "same verdicts" true (off = on);
+        check_bool "accepts equal" true (fst on);
+        check_bool "rejects unequal" true (not (snd on)));
+  ]
+
+(* ---------------------------------------------------------- compile cache *)
+
+let cache_tests =
+  [
+    tc "compile memo returns the shared automaton" (fun () ->
+        Compile.clear_cache ();
+        let phi = Combinators.equal_s "x" "y" in
+        let a1 = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let a2 = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        check_bool "physically shared" true (a1 == a2);
+        (* Different tape order, alphabet or trim flag each miss. *)
+        let a3 = Compile.compile b ~vars:[ "y"; "x" ] phi in
+        check_bool "var order distinguishes" true (a1 != a3);
+        let a4 = Compile.compile dna ~vars:[ "x"; "y" ] phi in
+        check_bool "alphabet distinguishes" true (a1 != a4);
+        let a5 = Compile.compile ~trim:false b ~vars:[ "x"; "y" ] phi in
+        check_bool "trim flag distinguishes" true (a1 != a5));
+    tc "disabled runtime bypasses the memo" (fun () ->
+        Compile.clear_cache ();
+        Runtime.set_enabled false;
+        let phi = Combinators.equal_s "x" "y" in
+        let a1 = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let a2 = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        Runtime.set_enabled true;
+        check_bool "not shared when disabled" true (a1 != a2));
+  ]
+
+(* ------------------------------------------------------------ generate *)
+
+let generate_tests =
+  [
+    tc "fast enumerator equals naive on combinators" (fun () ->
+        List.iter
+          (fun (vars, phi) ->
+            let fsa = Compile.compile b ~vars phi in
+            check_bool "same tuples" true
+              (Generate.accepted_fast fsa ~max_len:2
+              = Generate.accepted_naive fsa ~max_len:2))
+          [
+            ([ "x"; "y" ], Combinators.equal_s "x" "y");
+            ([ "x"; "y"; "z" ], Combinators.concat3 "x" "y" "z");
+            ([ "x"; "y" ], Combinators.prefix "x" "y");
+            ([ "x"; "y" ], Combinators.manifold "x" "y");
+          ]);
+  ]
+
+let suites =
+  [
+    ("runtime.keys", key_tests);
+    ("runtime.dispatch", dispatch_tests);
+    ("runtime.acceptance", acceptance_tests);
+    ("runtime.cache", cache_tests);
+    ("runtime.generate", generate_tests);
+  ]
