@@ -525,6 +525,134 @@ let runtime_bench () =
   close_out oc;
   Printf.printf "  wrote BENCH_runtime.json\n%!"
 
+(* -------------------------------------------------------------------- P1 *)
+
+(* Domain-parallel evaluation.  Two workloads, measured at 1/2/4/8
+   domains plus the sequential naive-reference baseline (Runtime
+   disabled, domains=1 — the same "before" engine R1 measures):
+
+     - the E1 twelve-query suite on the genomic database, batch-parallel
+       σ_A filtering and generator expansion inside Query.run;
+     - the E9 restructuring query (concat3 generator over pair_db).
+
+   The scaling series is honest about the host: on a single-core
+   container all domain counts collapse onto one core and the >1-domain
+   rows only show pool overhead; the parallel win appears on multi-core
+   hosts (CI runs the suite with STRDB_DOMAINS=4).  The headline speedup
+   therefore compares the 4-domain fast engine against the sequential
+   naive baseline, the end-to-end before/after of this PR series. *)
+let parallel_bench () =
+  B.section "P1 — domain-parallel evaluation: scaling and cache hit rates";
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  Printf.printf "  host: %d core(s) recommended by the runtime\n%!"
+    (Domain.recommended_domain_count ());
+  let min_time = if quick then 0.1 else 0.3 in
+  let db = Workload.genomic_db ~seed:11 ~n:(if quick then 8 else 12) ~len:6 in
+  let queries = e1_queries () in
+  let run_e1 ~domains () =
+    List.fold_left
+      (fun acc (_, free, phi) ->
+        let q = Query.make ~free phi in
+        acc +. B.time_per_run ~min_time (fun () -> Query.run ~domains dna db q))
+      0.0 queries
+  in
+  let e9_db =
+    Workload.pair_db b2 ~seed:21 ~name:"pair" ~n:(if quick then 24 else 48) ~len:2
+  in
+  let e9_q =
+    Query.make ~free:[ "x" ]
+      (Formula.exists_many [ "u"; "v" ]
+         (Formula.and_list
+            [
+              Formula.Rel ("pair", [ "u"; "v" ]);
+              Formula.Str (Combinators.concat3 "x" "u" "v");
+            ]))
+  in
+  let run_e9 ~domains () =
+    B.time_per_run ~min_time (fun () -> Query.run ~domains b2 e9_db e9_q)
+  in
+  (* Sequential naive baseline: runtime disabled, one domain. *)
+  Runtime.set_enabled false;
+  Runtime.clear_cache ();
+  Compile.clear_cache ();
+  let e1_naive = run_e1 ~domains:1 () in
+  let e9_naive = run_e9 ~domains:1 () in
+  Runtime.set_enabled true;
+  Printf.printf "  sequential naive baseline: E1 %.1f ms, E9 %.2f ms\n%!"
+    (e1_naive *. 1e3) (e9_naive *. 1e3);
+  (* Fast engine at each domain count, with cache counters per sweep. *)
+  Runtime.clear_cache ();
+  Compile.clear_cache ();
+  Runtime.reset_stats ();
+  Compile.reset_stats ();
+  let series =
+    List.map
+      (fun d ->
+        let e1 = run_e1 ~domains:d () in
+        let e9 = run_e9 ~domains:d () in
+        Printf.printf
+          "  domains=%-2d E1 %8.1f ms (%5.2fx vs naive)   E9 %7.2f ms (%5.2fx vs naive)\n%!"
+          d (e1 *. 1e3) (e1_naive /. e1) (e9 *. 1e3) (e9_naive /. e9);
+        (d, e1, e9))
+      domain_counts
+  in
+  let rs = Runtime.stats () in
+  let cs = Compile.stats () in
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+  in
+  Printf.printf
+    "  index cache:   %d hits / %d misses / %d evictions (%.1f%% hit rate, %d entries)\n"
+    rs.Runtime.hits rs.Runtime.misses rs.Runtime.evictions
+    (100.0 *. rate rs.Runtime.hits rs.Runtime.misses)
+    rs.Runtime.entries;
+  Printf.printf
+    "  compile memo:  %d hits / %d misses / %d evictions (%.1f%% hit rate, %d entries)\n%!"
+    cs.Compile.hits cs.Compile.misses cs.Compile.evictions
+    (100.0 *. rate cs.Compile.hits cs.Compile.misses)
+    cs.Compile.entries;
+  let e1_at d = let (_, e1, _) = List.find (fun (d', _, _) -> d' = d) series in e1 in
+  let headline = e1_naive /. e1_at 4 in
+  Printf.printf
+    "  headline: 4-domain fast engine vs sequential naive baseline on E1: %.2fx\n%!"
+    headline;
+  (* Emit the JSON record. *)
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"parallel\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"e1_naive_sequential_ms\": %.2f,\n" (e1_naive *. 1e3);
+  Printf.fprintf oc "  \"e9_naive_sequential_ms\": %.3f,\n" (e9_naive *. 1e3);
+  Printf.fprintf oc "  \"scaling\": [\n";
+  List.iteri
+    (fun i (d, e1, e9) ->
+      Printf.fprintf oc
+        "    {\"domains\": %d, \"e1_ms\": %.2f, \"e1_speedup_vs_naive\": %.2f, \
+         \"e9_ms\": %.3f, \"e9_speedup_vs_naive\": %.2f}%s\n"
+        d (e1 *. 1e3) (e1_naive /. e1) (e9 *. 1e3) (e9_naive /. e9)
+        (if i = List.length series - 1 then "" else ","))
+    series;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"speedup_4_domains_vs_sequential_baseline\": %.2f,\n" headline;
+  Printf.fprintf oc "  \"cache_stats\": {\n";
+  Printf.fprintf oc
+    "    \"index\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d, \"hit_rate\": %.4f},\n"
+    rs.Runtime.hits rs.Runtime.misses rs.Runtime.evictions rs.Runtime.entries
+    (rate rs.Runtime.hits rs.Runtime.misses);
+  Printf.fprintf oc
+    "    \"compile\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d, \"hit_rate\": %.4f}\n"
+    cs.Compile.hits cs.Compile.misses cs.Compile.evictions cs.Compile.entries
+    (rate cs.Compile.hits cs.Compile.misses);
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n%!"
+
 (* ------------------------------------------------------------------- T51 *)
 
 let grammar_bench () =
@@ -630,12 +758,19 @@ let edit_distance_bench () =
   B.print_rows ~quota:0.25 tests
 
 let only_runtime = Array.exists (fun a -> a = "runtime") Sys.argv
+let only_parallel = Array.exists (fun a -> a = "parallel") Sys.argv
 
 let () =
   if only_runtime then begin
     Printf.printf "strdb benchmark harness — runtime section only (%s mode)\n"
       (if quick then "quick" else "full");
     runtime_bench ();
+    exit 0
+  end;
+  if only_parallel then begin
+    Printf.printf "strdb benchmark harness — parallel section only (%s mode)\n"
+      (if quick then "quick" else "full");
+    parallel_bench ();
     exit 0
   end;
   Printf.printf "strdb benchmark harness — %s mode\n"
@@ -656,4 +791,5 @@ let () =
   grammar_bench ();
   lba_bench ();
   runtime_bench ();
+  parallel_bench ();
   Printf.printf "\nall experiment sections completed.\n"

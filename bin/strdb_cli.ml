@@ -25,6 +25,30 @@ let sigma_arg =
     & opt alphabet_conv Alphabet.dna
     & info [ "a"; "alphabet" ] ~docv:"CHARS" ~doc:"The fixed alphabet Σ.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate on $(docv) domains (parallel batch acceptance and \
+           generator expansion).  Defaults to \\$STRDB_DOMAINS, else 1.")
+
+(* Bad input must come back as a one-line diagnostic and exit code 1,
+   never a raw backtrace: strings outside Σ raise Invalid_alphabet (or
+   Invalid_argument via Run.check_input), hand-built automata raise
+   Fsa.Ill_formed, int parsing raises Failure. *)
+let guard f =
+  try f () with
+  | Invalid_argument m
+  | Failure m
+  | Alphabet.Invalid_alphabet m
+  | Fsa.Ill_formed m
+  | Sparser.Parse_error m
+  | Database.Schema_error m ->
+      Printf.eprintf "strdb: error: %s\n" m;
+      1
+
 (* --- match --------------------------------------------------------------- *)
 
 let match_cmd =
@@ -32,24 +56,31 @@ let match_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX")
   in
   let strings = Arg.(value & pos_right 0 string [] & info [] ~docv:"STRING") in
-  let run sigma src strings =
+  let run sigma jobs src strings =
     match Regex.parse src with
     | exception Failure m ->
         prerr_endline m;
         1
     | r ->
-        let fsa = Compile.compile sigma ~vars:[ "x" ] (Regex_embed.matches "x" r) in
-        Printf.printf "compiled %d-state FSA from %s\n" fsa.Fsa.num_states src;
-        List.iter
-          (fun w ->
-            Printf.printf "%-20s %s\n" w
-              (if Run.accepts fsa [ w ] then "match" else "no match"))
-          strings;
-        0
+        guard (fun () ->
+            let fsa =
+              Compile.compile sigma ~vars:[ "x" ] (Regex_embed.matches "x" r)
+            in
+            Printf.printf "compiled %d-state FSA from %s\n" fsa.Fsa.num_states src;
+            let verdicts =
+              Run.accepts_batch ~pool:(Pool.get jobs) fsa
+                (List.map (fun w -> [ w ]) strings)
+            in
+            List.iteri
+              (fun i w ->
+                Printf.printf "%-20s %s\n" w
+                  (if verdicts.(i) then "match" else "no match"))
+              strings;
+            0)
   in
   Cmd.v
     (Cmd.info "match" ~doc:"Regex matching via alignment calculus (Theorem 6.1).")
-    Term.(const run $ sigma_arg $ regex $ strings)
+    Term.(const run $ sigma_arg $ jobs_arg $ regex $ strings)
 
 (* --- editdist ------------------------------------------------------------ *)
 
@@ -60,13 +91,16 @@ let editdist_cmd =
   let u = Arg.(required & pos 0 (some string) None & info [] ~docv:"U") in
   let v = Arg.(required & pos 1 (some string) None & info [] ~docv:"V") in
   let run sigma k u v =
-    let fsa =
-      Compile.compile sigma ~vars:[ "x"; "y" ] (Combinators.edit_distance_le "x" "y" k)
-    in
-    let via = Run.accepts fsa [ u; v ] in
-    let d = Edit_distance.distance u v in
-    Printf.printf "FSA says distance(%s,%s) <= %d: %b; DP distance = %d\n" u v k via d;
-    if via = (d <= k) then 0 else 1
+    guard (fun () ->
+        let fsa =
+          Compile.compile sigma ~vars:[ "x"; "y" ]
+            (Combinators.edit_distance_le "x" "y" k)
+        in
+        let via = Run.accepts fsa [ u; v ] in
+        let d = Edit_distance.distance u v in
+        Printf.printf "FSA says distance(%s,%s) <= %d: %b; DP distance = %d\n" u v
+          k via d;
+        if via = (d <= k) then 0 else 1)
   in
   Cmd.v
     (Cmd.info "editdist" ~doc:"Example 8: edit distance through a 2-FSA.")
@@ -82,9 +116,16 @@ let sat_cmd =
           ~doc:"Clauses as comma-separated literals, e.g. 1,-2,3.")
   in
   let run clauses =
+    guard (fun () ->
     let cnf =
       List.map
-        (fun c -> List.map int_of_string (String.split_on_char ',' c))
+        (fun c ->
+          List.map
+            (fun l ->
+              match int_of_string_opt (String.trim l) with
+              | Some n when n <> 0 -> n
+              | _ -> failwith (Printf.sprintf "bad literal %S in clause %S" l c))
+            (String.split_on_char ',' c))
         clauses
     in
     let nvars =
@@ -102,7 +143,7 @@ let sat_cmd =
       | [ w ] :: _ -> Printf.printf "witness assignment: %s\n" w
       | _ -> ()
     end;
-    0
+    0)
   in
   Cmd.v
     (Cmd.info "sat" ~doc:"Theorem 6.5: solve a CNF as a string query.")
@@ -133,6 +174,7 @@ let limits_cmd =
       & info [ "inputs" ] ~docv:"TAPES" ~doc:"Input tape indices.")
   in
   let run sigma formula_name inputs =
+    guard (fun () ->
     let vars, phi = List.assoc formula_name combinator_table in
     let fsa = Compile.compile sigma ~vars phi in
     let outputs =
@@ -146,7 +188,7 @@ let limits_cmd =
     | Ok (Limitation.Limited b) -> Printf.printf "LIMITED with W = %s\n" b.Limitation.formula
     | Ok (Limitation.Unlimited r) -> Printf.printf "UNLIMITED: %s\n" r
     | Error e -> Printf.printf "analysis error: %s\n" e);
-    0
+    0)
   in
   Cmd.v
     (Cmd.info "limits" ~doc:"Theorem 5.2: limitation analysis of a combinator.")
@@ -174,8 +216,8 @@ let query_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan instead of answers.")
   in
-  let run sigma rels free body explain =
-    try
+  let run sigma jobs rels free body explain =
+    guard (fun () ->
       let db =
         Database.of_list
           (List.map
@@ -212,7 +254,7 @@ let query_cmd =
             1
       end
       else
-        match Eval.run sigma db ~free phi with
+        match Eval.run ~domains:jobs sigma db ~free phi with
         | Ok answers ->
             List.iter
               (fun t -> print_endline (String.concat "\t" t))
@@ -220,14 +262,7 @@ let query_cmd =
             0
         | Error e ->
             prerr_endline e;
-            1
-    with
-    | Sparser.Parse_error m | Failure m ->
-        prerr_endline m;
-        1
-    | Database.Schema_error m ->
-        prerr_endline m;
-        1
+            1)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an alignment-calculus query."
@@ -240,7 +275,7 @@ let query_cmd =
            `P
              "  'pair(x,y) & S{([x,y]l{x=y})*.[x,y]l{x=y & x=#}}'";
          ])
-    Term.(const run $ sigma_arg $ rels $ free $ body $ explain)
+    Term.(const run $ sigma_arg $ jobs_arg $ rels $ free $ body $ explain)
 
 (* --- align ----------------------------------------------------------------- *)
 
@@ -253,6 +288,7 @@ let align_cmd =
           ~doc:"Left-transpose each row this many times.")
   in
   let run strings shifts =
+    guard (fun () ->
     let vars = List.mapi (fun i _ -> Printf.sprintf "x%d" i) strings in
     let a = ref (Alignment.initial (List.combine vars strings)) in
     List.iteri
@@ -265,7 +301,7 @@ let align_cmd =
         | None -> ())
       shifts;
     Format.printf "%a@." Alignment.pp !a;
-    0
+    0)
   in
   Cmd.v
     (Cmd.info "align" ~doc:"Print an alignment, Fig. 1 style.")

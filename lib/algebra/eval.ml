@@ -1,6 +1,7 @@
 module F = Strdb_calculus.Formula
 module S = Strdb_calculus.Sformula
 module Db = Strdb_calculus.Database
+module Pool = Strdb_util.Pool
 
 type plan_step =
   | Scan of string
@@ -127,6 +128,30 @@ let describe_conjunct = function
   | F.Not _ as c -> "negation " ^ Strdb_util.Pretty.to_string F.pp c
   | c -> Strdb_util.Pretty.to_string F.pp c
 
+(* A fully-bound string-formula conjunct is a σ_A filter: one shared
+   compiled FSA, one acceptance run per row.  Resolve the columns once
+   and hand the batch to [Run.accepts_batch], which spreads the
+   independent per-row searches over the pool. *)
+let filter_rows_str sigma pool t s rows =
+  let vars = S.vars s in
+  let idxs =
+    List.map
+      (fun v ->
+        match col_index t v with
+        | Some i -> i
+        | None -> invalid_arg "Eval: unbound variable in filter")
+      vars
+  in
+  let fsa = Strdb_calculus.Compile.compile sigma ~vars s in
+  let arr = Array.of_list rows in
+  let tuples = Array.to_list (Array.map (fun row -> List.map (fun i -> row.(i)) idxs) arr) in
+  let keep = Strdb_fsa.Run.accepts_batch ~pool fsa tuples in
+  let acc = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if keep.(i) then acc := arr.(i) :: !acc
+  done;
+  !acc
+
 (* Try to use [s] as a generator from the current table: returns the
    compiled FSA, the known/unknown split and the per-row output bound. *)
 let certify_generator sigma t s =
@@ -143,7 +168,7 @@ let certify_generator sigma t s =
       | Ok (Strdb_fsa.Limitation.Limited b) -> Some (fsa, known, unknown, b)
       | _ -> None)
 
-let plan_and_run sigma db ~free phi ~dry_run =
+let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
   if List.sort compare free <> F.free_vars phi then
     Error "free variable list does not match the formula"
   else begin
@@ -188,7 +213,7 @@ let plan_and_run sigma db ~free phi ~dry_run =
       let error = ref None in
       let continue_ = ref true in
       while !continue_ && !remaining <> [] && !error = None do
-        let filters, pool =
+        let filters, gens =
           List.partition (fun s -> List.for_all (bound !t) (S.vars s)) !remaining
         in
         if filters <> [] then begin
@@ -196,12 +221,9 @@ let plan_and_run sigma db ~free phi ~dry_run =
             (fun s ->
               record (Filter (describe_conjunct (F.Str s)));
               if not dry_run then
-                t :=
-                  { !t with
-                    rows = List.filter (fun row -> eval_qf db checker !t row (F.Str s)) !t.rows
-                  })
+                t := { !t with rows = filter_rows_str sigma pool !t s !t.rows })
             filters;
-          remaining := pool
+          remaining := gens
         end
         else begin
           (* Pick the first certifiable generator. *)
@@ -216,7 +238,7 @@ let plan_and_run sigma db ~free phi ~dry_run =
                           (List.sort_uniq compare
                              (List.concat_map
                                 (fun s -> List.filter (fun v -> not (bound !t v)) (S.vars s))
-                                pool))))
+                                gens))))
             | s :: others -> (
                 match certify_generator sigma !t s with
                 | None -> attempt others
@@ -233,8 +255,11 @@ let plan_and_run sigma db ~free phi ~dry_run =
                       let known_idx =
                         List.map (fun v -> Option.get (col_index !t v)) known
                       in
+                      (* Each bound row expands independently (Lemma 3.1
+                         specialisation + enumeration): a parallel
+                         concat_map over the pool. *)
                       let rows =
-                        List.concat_map
+                        Pool.concat_map_list pool
                           (fun row ->
                             let ins = List.map (fun i -> row.(i)) known_idx in
                             let per_row_bound =
@@ -249,7 +274,7 @@ let plan_and_run sigma db ~free phi ~dry_run =
                     end;
                     remaining := List.filter (fun s' -> not (s' == s)) !remaining)
           in
-          attempt pool
+          attempt gens
         end
       done;
       ignore !continue_;
@@ -275,7 +300,10 @@ let plan_and_run sigma db ~free phi ~dry_run =
                     if not dry_run then
                       t :=
                         { !t with
-                          rows = List.filter (fun row -> eval_qf db checker !t row c) !t.rows
+                          rows =
+                            Pool.filter_list pool
+                              (fun row -> eval_qf db checker !t row c)
+                              !t.rows
                         }
                   end
                 end)
@@ -295,8 +323,12 @@ let plan_and_run sigma db ~free phi ~dry_run =
     end
   end
 
-let run sigma db ~free phi =
-  match plan_and_run sigma db ~free phi ~dry_run:false with
+let run ?domains sigma db ~free phi =
+  let domains =
+    match domains with Some d -> d | None -> Pool.default_domains ()
+  in
+  let pool = if domains <= 1 then Pool.sequential else Pool.get domains in
+  match plan_and_run ~pool sigma db ~free phi ~dry_run:false with
   | Ok (_, rows) -> Ok rows
   | Error e -> Error e
 

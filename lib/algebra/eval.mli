@@ -22,13 +22,21 @@
     explanation (use {!Safety.evaluate_truncated} for those). *)
 
 val run :
+  ?domains:int ->
   Strdb_util.Alphabet.t ->
   Strdb_calculus.Database.t ->
   free:Strdb_calculus.Formula.var list ->
   Strdb_calculus.Formula.t ->
   (Strdb_calculus.Database.tuple list, string) result
 (** Evaluate; answer columns follow [free] (which must list the free
-    variables).  Sorted, duplicate-free. *)
+    variables).  Sorted, duplicate-free.
+
+    [domains] spreads the per-row work — σ_A acceptance filters and
+    per-bound-tuple generator expansion — over a shared
+    {!Strdb_util.Pool} of that many domains.  Defaults to
+    [Pool.default_domains ()] (the [STRDB_DOMAINS] environment
+    variable, else 1); [1] is fully sequential.  Results are identical
+    for every domain count. *)
 
 type plan_step =
   | Scan of string  (** join a relational atom. *)

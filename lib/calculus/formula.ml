@@ -48,19 +48,24 @@ type checker = Sformula.t -> (var * string) list -> bool
 
 let naive_checker = Naive.holds
 
+(* The closure's memo is shared by every row of a filter step, and the
+   parallel evaluator runs those rows on pool domains — hence the mutex.
+   Only the table lookup is under the lock; the acceptance run is not. *)
 let compiled_checker sigma =
   let cache : (Sformula.t, Window.var list * Strdb_fsa.Fsa.t) Hashtbl.t =
     Hashtbl.create 16
   in
+  let mu = Mutex.create () in
   fun phi bindings ->
     let vars, fsa =
-      match Hashtbl.find_opt cache phi with
-      | Some entry -> entry
-      | None ->
-          let vars = Sformula.vars phi in
-          let fsa = Compile.compile sigma ~vars phi in
-          Hashtbl.replace cache phi (vars, fsa);
-          (vars, fsa)
+      Mutex.protect mu (fun () ->
+          match Hashtbl.find_opt cache phi with
+          | Some entry -> entry
+          | None ->
+              let vars = Sformula.vars phi in
+              let fsa = Compile.compile sigma ~vars phi in
+              Hashtbl.replace cache phi (vars, fsa);
+              (vars, fsa))
     in
     let tuple =
       List.map

@@ -23,6 +23,7 @@
 module Alphabet = Strdb_util.Alphabet
 module Strutil = Strdb_util.Strutil
 module Prng = Strdb_util.Prng
+module Pool = Strdb_util.Pool
 module Regex = Strdb_automata.Regex
 module Nfa = Strdb_automata.Nfa
 module Dfa = Strdb_automata.Dfa
@@ -109,8 +110,13 @@ module Query = struct
   (** Evaluate with the production pipeline ({!Eval}): joins, Theorem 3.3
       filters and Lemma 3.1/Theorem 5.2 generators.  [Error] when the
       query is outside the generator-pipeline fragment or a variable
-      cannot be bound safely. *)
-  let run sigma db q = Eval.run sigma db ~free:q.free q.body
+      cannot be bound safely.
+
+      [domains] runs the per-row filter and generator work on a shared
+      {!Pool} of that many domains (default: [STRDB_DOMAINS] from the
+      environment, else sequential).  Answers are identical for every
+      domain count. *)
+  let run ?domains sigma db q = Eval.run ?domains sigma db ~free:q.free q.body
 
   (** The plan {!run} would execute. *)
   let explain sigma db q = Eval.explain sigma db q.body

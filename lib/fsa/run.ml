@@ -82,6 +82,12 @@ let accepts a ws =
   | Some b -> b
   | None -> accepts_naive a ws
 
+(* Batch acceptance over one FSA: the σ_A filter shape of the query
+   pipeline.  The per-tuple searches are independent and the runtime's
+   caches are domain-safe, so the batch spreads over the pool. *)
+let accepts_batch ?(pool = Strdb_util.Pool.sequential) a tuples =
+  Strdb_util.Pool.map_array pool (accepts a) (Array.of_list tuples)
+
 let accepting_trace (a : Fsa.t) ws0 =
   check_input a ws0;
   let ws = Array.of_list ws0 in

@@ -29,6 +29,14 @@ val accepts : Fsa.t -> string list -> bool
     @raise Invalid_argument if the tuple arity differs from the FSA's or a
     string uses characters outside the alphabet. *)
 
+val accepts_batch :
+  ?pool:Strdb_util.Pool.t -> Fsa.t -> string list list -> bool array
+(** [accepts_batch ~pool a tuples] is [accepts a] over every tuple, the
+    per-tuple searches spread across [pool] (default: sequential).  This
+    is the σ_A filter shape of the query pipeline: one shared compiled
+    FSA, many independent rows.
+    @raise Invalid_argument as {!accepts}, re-raised on the caller. *)
+
 val accepts_naive : Fsa.t -> string list -> bool
 (** The reference decision procedure: breadth-first search with
     polymorphic-hashtable configuration keys, exactly as before the

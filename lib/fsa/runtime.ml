@@ -4,11 +4,12 @@ module A = Strdb_util.Alphabet
 (* Global fast-path toggle.  The naive reference implementations stay
    available (Run.accepts_naive, Generate.accepted_naive); flipping this
    off makes the public entry points use them, which is how the benches
-   measure before/after on identical workloads. *)
+   measure before/after on identical workloads.  Atomic: the flag is
+   read on every accepts/compile call, including from pool workers. *)
 
-let enabled_flag = ref true
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
 (* ------------------------------------------------------------------ *)
 (* A monomorphic int hash set with open addressing: the visited set of
@@ -167,30 +168,79 @@ let outgoing rt q = rt.outgoing.(q)
 (* Index cache: keyed on the FSA's physical identity, bounded,
    move-to-front.  Compile's memoization returns physically equal FSAs
    for repeated formulae, so the two caches compose: re-running a query
-   re-uses both the automaton and its dispatch index. *)
+   re-uses both the automaton and its dispatch index.
 
-let cache : (Fsa.t * t) list ref = ref []
+   The cache is an immutable list behind an [Atomic.t], so lookups are
+   lock-free from any domain; move-to-front and insertion go through
+   compare-and-set.  MTF is only a heuristic, so a lost CAS race is
+   simply skipped; insertion retries, and when two domains build the
+   same index concurrently the first inserted one wins, keeping
+   the per-FSA index unique from then on. *)
+
+let cache : (Fsa.t * t) list Atomic.t = Atomic.make []
 let cache_limit = 64
+
+(* Cache statistics, for the benches' hit-rate reports and to make cache
+   retention visible (a forever-growing miss count on an alphabet-heavy
+   path means nobody calls clear_cache).  [evictions] counts entries
+   dropped off the bounded tail, not clear_cache resets. *)
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let evictions = Atomic.make 0
+
+let stats () =
+  {
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+    evictions = Atomic.get evictions;
+    entries = List.length (Atomic.get cache);
+  }
+
+let reset_stats () =
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Atomic.set evictions 0
 
 let rec take n = function
   | [] -> []
   | _ when n = 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
+let rec insert_built (a : Fsa.t) rt =
+  let cur = Atomic.get cache in
+  match List.find_opt (fun (f, _) -> f == a) cur with
+  | Some (_, rt') -> rt' (* another domain won the build race *)
+  | None ->
+      let dropped = max 0 (List.length cur + 1 - cache_limit) in
+      if Atomic.compare_and_set cache cur (take cache_limit ((a, rt) :: cur))
+      then begin
+        if dropped > 0 then ignore (Atomic.fetch_and_add evictions dropped);
+        rt
+      end
+      else insert_built a rt
+
 let index (a : Fsa.t) =
-  match !cache with
-  | (f, rt) :: _ when f == a -> rt
-  | entries -> (
+  let entries = Atomic.get cache in
+  match entries with
+  | (f, rt) :: _ when f == a ->
+      Atomic.incr hits;
+      rt
+  | _ -> (
       match List.find_opt (fun (f, _) -> f == a) entries with
       | Some ((_, rt) as hit) ->
-          cache := hit :: List.filter (fun (f, _) -> f != a) entries;
+          Atomic.incr hits;
+          (* Best-effort move-to-front: skip on a lost race. *)
+          ignore
+            (Atomic.compare_and_set cache entries
+               (hit :: List.filter (fun (f, _) -> f != a) entries));
           rt
       | None ->
-          let rt = build a in
-          cache := take cache_limit ((a, rt) :: entries);
-          rt)
+          Atomic.incr misses;
+          insert_built a (build a))
 
-let clear_cache () = cache := []
+let clear_cache () = Atomic.set cache []
 
 (* ------------------------------------------------------------------ *)
 (* Packed configuration keys.  For input lengths n₁..n_k a configuration

@@ -20,7 +20,8 @@
       before/after and how the qcheck suite cross-checks semantics. *)
 
 val enabled : unit -> bool
-(** Is the fast runtime switched on (default: yes)? *)
+(** Is the fast runtime switched on (default: yes)?  The flag is an
+    [Atomic.t]: reading it from pool workers is safe. *)
 
 val set_enabled : bool -> unit
 (** Toggle the fast paths ([Run.accepts], [Generate.accepted], the
@@ -35,10 +36,26 @@ type t
 val index : Fsa.t -> t
 (** [index a] is the dispatch index of [a], built on first use and
     cached (bounded, keyed on physical identity — FSAs are immutable
-    after construction). *)
+    after construction).  Domain-safe: the cache is a lock-free
+    immutable list behind an [Atomic.t]; concurrent lookups never
+    block, and racing builders converge on one shared index. *)
 
 val clear_cache : unit -> unit
 (** Drop all cached indices (benchmark hygiene). *)
+
+type stats = {
+  hits : int;  (** [index] calls answered from the cache. *)
+  misses : int;  (** [index] calls that built a fresh dispatch index. *)
+  evictions : int;  (** entries dropped off the bounded tail. *)
+  entries : int;  (** live entries right now. *)
+}
+(** Counters over the index cache since start / {!reset_stats}.  The
+    benches report hit rates from these; a miss count that grows with an
+    alphabet-heavy workload is a leak signal (nothing calls
+    {!clear_cache}). *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
 
 val indexable : t -> bool
 (** False when [(|Σ|+2)^arity] overflows the code budget; dispatch and

@@ -1,0 +1,263 @@
+(* A reusable fixed-size domain pool with chunked work-stealing parallel
+   iteration, built directly on OCaml 5 Domains (the container has no
+   domainslib).
+
+   Design: [size - 1] worker domains are spawned once and then park on a
+   condition variable.  A parallel region installs one closure ([job]),
+   bumps an epoch counter and broadcasts; every worker runs the same
+   closure, which internally steals chunks of the index space through an
+   [Atomic.t] cursor, so the region is balanced even when per-element
+   cost is wildly uneven (FSA acceptance on strings of different
+   lengths).  The caller participates too — a pool of size [n] uses [n]
+   domains total, not [n + 1].
+
+   Crucially, the caller waits for the *work* to drain, not for every
+   worker to have woken: region completion is an item counter inside the
+   region's own closure.  A worker that never gets scheduled (routine on
+   machines with fewer cores than the pool has domains) wakes later,
+   finds the cursor exhausted and re-parks without ever blocking the
+   caller, so an oversized pool degrades to roughly sequential speed
+   instead of paying one scheduler timeslice per parked worker per
+   region.  Regions are serialized per pool; the pool itself is cheap to
+   keep around, so the engine reuses shared pools (see {!get}) instead
+   of respawning domains per query. *)
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  mu : Mutex.t;
+  work_cv : Condition.t;  (* workers park here between regions *)
+  done_cv : Condition.t;  (* the caller parks here until the work drains *)
+  region_mu : Mutex.t;  (* serializes whole regions *)
+  mutable job : (unit -> unit) option;
+  mutable epoch : int;
+  mutable stopped : bool;
+}
+
+let size t = t.size
+
+let worker_loop pool =
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock pool.mu;
+    while
+      (not pool.stopped)
+      && (pool.epoch = !seen || Option.is_none pool.job)
+    do
+      if pool.epoch <> !seen then seen := pool.epoch;
+      Condition.wait pool.work_cv pool.mu
+    done;
+    if pool.stopped then begin
+      Mutex.unlock pool.mu;
+      live := false
+    end
+    else begin
+      seen := pool.epoch;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.mu;
+      (* Jobs are the chunk-stealing bodies below: they trap their own
+         exceptions and count their own completion, so a worker never
+         dies mid-pool and a late worker runs a body that immediately
+         finds the cursor exhausted. *)
+      job ()
+    end
+  done
+
+let max_size = 128
+
+let create n =
+  let n = max 1 (min n max_size) in
+  let pool =
+    {
+      size = n;
+      workers = [||];
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      region_mu = Mutex.create ();
+      job = None;
+      epoch = 0;
+      stopped = false;
+    }
+  in
+  pool.workers <-
+    Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.region_mu;
+  Mutex.lock pool.mu;
+  let was = pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.mu;
+  if not was then Array.iter Domain.join pool.workers;
+  Mutex.unlock pool.region_mu
+
+(* Offer [job] to the pool's workers and run it on the caller too.
+   [job] must be safe to run concurrently with itself, must not raise,
+   and must be a no-op once its work is exhausted: the caller returns as
+   soon as [done_ ()] holds, which workers signal through [done_cv], so
+   a worker scheduled late may still run (and immediately finish) the
+   closure after this function has returned. *)
+let run_region pool job ~done_ =
+  if pool.size = 1 then job ()
+  else begin
+    Mutex.lock pool.region_mu;
+    Mutex.lock pool.mu;
+    if pool.stopped then begin
+      Mutex.unlock pool.mu;
+      Mutex.unlock pool.region_mu;
+      job ()
+    end
+    else begin
+      pool.job <- Some job;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.mu;
+      job ();
+      Mutex.lock pool.mu;
+      while not (done_ ()) do
+        Condition.wait pool.done_cv pool.mu
+      done;
+      pool.job <- None;
+      Mutex.unlock pool.mu;
+      Mutex.unlock pool.region_mu
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunked work-stealing maps.  The index space [lo, n) is dealt out in
+   chunks through an atomic cursor; small inputs stay on the caller. *)
+
+let chunk_size pool n = max 1 (n / (pool.size * 8))
+
+(* Below this many items per domain the region wakeup costs more than
+   the work it distributes; stay on the caller. *)
+let min_items_per_domain = 2
+
+let parallel_for pool ~lo ~n f =
+  if pool.size = 1 || n - lo <= pool.size * min_items_per_domain then
+    for i = lo to n - 1 do
+      f i
+    done
+  else begin
+    let cursor = Atomic.make lo in
+    let completed = Atomic.make 0 in
+    let total = n - lo in
+    let failure = Atomic.make None in
+    let chunk = chunk_size pool total in
+    let body () =
+      let continue_ = ref true in
+      let mine = ref 0 in
+      while !continue_ do
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then continue_ := false
+        else begin
+          let stop = min n (start + chunk) in
+          (try
+             for i = start to stop - 1 do
+               f i
+             done
+           with e ->
+             (* Remember the first failure; later chunks still count as
+                completed so the region always drains. *)
+             ignore (Atomic.compare_and_set failure None (Some e)));
+          mine := !mine + (stop - start)
+        end
+      done;
+      if !mine > 0 && Atomic.fetch_and_add completed !mine + !mine >= total
+      then begin
+        (* This domain retired the last item: wake the caller if it is
+           parked on done_cv. *)
+        Mutex.lock pool.mu;
+        Condition.signal pool.done_cv;
+        Mutex.unlock pool.mu
+      end
+    in
+    run_region pool body ~done_:(fun () -> Atomic.get completed >= total);
+    match Atomic.get failure with None -> () | Some e -> raise e
+  end
+
+let map_array pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Seed the output with a real element so the array is well-typed
+       without Obj trickery; index 0 is computed by the caller. *)
+    let first = f arr.(0) in
+    let out = Array.make n first in
+    parallel_for pool ~lo:1 ~n (fun i -> out.(i) <- f arr.(i));
+    out
+  end
+
+let map_list pool f l = Array.to_list (map_array pool f (Array.of_list l))
+
+let filter_list pool p l =
+  match l with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list l in
+      let keep = map_array pool p arr in
+      let acc = ref [] in
+      for i = Array.length arr - 1 downto 0 do
+        if keep.(i) then acc := arr.(i) :: !acc
+      done;
+      !acc
+
+let concat_map_list pool f l = List.concat (map_list pool f l)
+
+(* ------------------------------------------------------------------ *)
+(* Shared pools.  Spawning a domain costs far more than a parallel
+   region, so the engine grabs a long-lived pool per requested size and
+   keeps it; an [at_exit] hook joins every worker so the process ends
+   cleanly. *)
+
+let shared : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_mu = Mutex.create ()
+let exit_hooked = ref false
+
+let sequential = create 1
+
+(* Shared pools never oversubscribe the machine: minor collections are
+   stop-the-world across running domains, so domains beyond the core
+   count make every GC pay scheduler timeslices and the whole region
+   runs slower than sequential.  [create] stays exact for callers (and
+   tests) that want a specific worker count regardless. *)
+let get n =
+  let n = max 1 (min n max_size) in
+  let n = min n (Domain.recommended_domain_count ()) in
+  if n = 1 then sequential
+  else begin
+    Mutex.lock shared_mu;
+    let pool =
+      match Hashtbl.find_opt shared n with
+      | Some p -> p
+      | None ->
+          if not !exit_hooked then begin
+            exit_hooked := true;
+            at_exit (fun () ->
+                Mutex.lock shared_mu;
+                let pools = Hashtbl.fold (fun _ p acc -> p :: acc) shared [] in
+                Hashtbl.reset shared;
+                Mutex.unlock shared_mu;
+                List.iter shutdown pools)
+          end;
+          let p = create n in
+          Hashtbl.replace shared n p;
+          p
+    in
+    Mutex.unlock shared_mu;
+    pool
+  end
+
+(* The engine-wide default domain count: the STRDB_DOMAINS environment
+   variable when set to a positive int, else 1 (sequential).  This is
+   how CI forces the parallel path through the whole test suite. *)
+let default_domains () =
+  match Sys.getenv_opt "STRDB_DOMAINS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n max_size
+    | _ -> 1)

@@ -1,0 +1,72 @@
+(** A reusable fixed-size domain pool with chunked work-stealing
+    parallel iteration.
+
+    The engine's batch loops — σ_A acceptance filters over the rows of a
+    working table, per-bound-tuple generator expansion — are
+    embarrassingly parallel: every element is independent and all shared
+    state they touch ({!Strdb_fsa.Runtime}'s index cache, the compile
+    memo) is domain-safe.  A pool of size [n] runs such loops on [n]
+    domains ([n - 1] parked workers plus the calling domain), dealing
+    the index space out in chunks through an atomic cursor so uneven
+    per-element cost still balances.
+
+    Pools are long-lived: workers park on a condition variable between
+    regions, so a region costs two lock round-trips plus wakeups, not
+    domain spawns.  A pool of size 1 degenerates to the plain sequential
+    loop with no synchronization at all. *)
+
+type t
+(** A pool of domains.  Values of this type are domain-safe; concurrent
+    regions on the same pool are serialized. *)
+
+val create : int -> t
+(** [create n] spawns a pool of [n] domains total (clamped to
+    [1 ≤ n ≤ 128]).  [create 1] spawns nothing. *)
+
+val size : t -> int
+(** Total domains, caller included. *)
+
+val shutdown : t -> unit
+(** Join the workers.  The pool remains usable afterwards but runs
+    everything on the caller.  Idempotent. *)
+
+val sequential : t
+(** The size-1 pool: runs everything inline on the caller. *)
+
+val get : int -> t
+(** [get n] is a shared, long-lived pool of [min n cores] domains, where
+    [cores] is {!Domain.recommended_domain_count}[ ()], created on first
+    use and reused for the process lifetime (an [at_exit] hook joins the
+    workers).  The clamp matters: OCaml 5 minor collections are barriers
+    across every running domain, so a pool wider than the machine
+    timeshares one core per several allocating domains and runs slower
+    than sequential.  [get] therefore never oversubscribes — on a
+    single-core host every [get n] is the sequential pool, and query
+    answers are identical either way.  Use this, not {!create}, for
+    per-query parallelism; use {!create} when an exact worker count is
+    the point (tests of the pool machinery itself). *)
+
+val default_domains : unit -> int
+(** The engine-wide default domain count: [STRDB_DOMAINS] from the
+    environment when it parses as a positive int, else 1.  CI sets it to
+    force the parallel path through the whole test suite. *)
+
+val parallel_for : t -> lo:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~n f] runs [f i] for [lo ≤ i < n] across the
+    pool.  [f] must tolerate concurrent invocation on distinct indices.
+    If some [f i] raises, one such exception is re-raised on the caller
+    after the region drains. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map].  Evaluation order across elements is
+    unspecified; [f] runs exactly once per element. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] (order of results preserved). *)
+
+val filter_list : t -> ('a -> bool) -> 'a list -> 'a list
+(** Parallel [List.filter]: predicates run across the pool, the kept
+    elements come back in their original order. *)
+
+val concat_map_list : t -> ('a -> 'b list) -> 'a list -> 'b list
+(** Parallel [List.concat_map] (order of groups preserved). *)

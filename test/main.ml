@@ -2,7 +2,8 @@
    DESIGN.md's experiment index for which paper artefact each covers. *)
 let () =
   Alcotest.run "strdb"
-    (Test_util.suites @ Test_automata.suites @ Test_alignment.suites
+    (Test_util.suites @ Test_pool.suites @ Test_automata.suites
+   @ Test_alignment.suites
    @ Test_fsa.suites @ Test_runtime.suites @ Test_compile.suites
    @ Test_decompile.suites
    @ Test_formula.suites @ Test_limitation.suites @ Test_algebra.suites

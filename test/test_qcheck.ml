@@ -74,8 +74,21 @@ let arb_sformula ?allow_right vars =
   QCheck.make ~print:Sformula.to_string
     (QCheck.Gen.map (fun f -> f) (gen_sformula ?allow_right vars))
 
+(* A deterministic generator seed (QCHECK_SEED overrides).  The pipeline
+   props evaluate whatever generation bound the Theorem 5.2 analysis
+   certifies; a rare random formula certifies a quadratic bound whose
+   Σ^≤W enumeration is astronomically large, so an unpinned seed makes
+   the suite flaky-slow rather than flaky-wrong.  A pinned seed keeps
+   runs reproducible; bump it deliberately to rotate the cases. *)
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 1729
+
 let prop ?(count = 100) name arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed; Hashtbl.hash name |])
+    (QCheck.Test.make ~count ~name arb f)
 
 (* --- properties ------------------------------------------------------------ *)
 
@@ -155,6 +168,30 @@ let runtime_props =
             Runtime.set_enabled true;
             let fast = Eval.run b db ~free phi in
             slow = fast));
+  ]
+
+let parallel_props =
+  [
+    prop ~count:40 "parallel evaluation ≡ sequential evaluation"
+      (arb_sformula [ "u"; "v" ])
+      (fun s ->
+        (* Both variables are bound by the join, so the Str conjunct runs
+           as a batch σ_A filter — the path ~domains parallelises.  (A
+           free variable would take the generator path, where a rare
+           random formula certifies an astronomically large enumeration
+           bound; the generator pipeline is covered deterministically in
+           eval/queries tests and by the STRDB_DOMAINS=4 CI battery.) *)
+        let db = Workload.pair_db b ~seed:13 ~name:"pair" ~n:5 ~len:2 in
+        let phi = Formula.And (Formula.Rel ("pair", [ "u"; "v" ]), Formula.Str s) in
+        let free = Formula.free_vars phi in
+        Eval.run ~domains:1 b db ~free phi = Eval.run ~domains:4 b db ~free phi);
+    prop ~count:20 "parallel batch acceptance ≡ per-tuple acceptance"
+      (QCheck.pair (arb_sformula [ "x"; "y" ]) (QCheck.list_of_size (QCheck.Gen.int_bound 12) arb_string_pair))
+      (fun (phi, pairs) ->
+        let fsa = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let tuples = List.map (fun (u, v) -> [ u; v ]) pairs in
+        Array.to_list (Run.accepts_batch ~pool:(Pool.get 4) fsa tuples)
+        = List.map (Run.accepts fsa) tuples);
   ]
 
 let baseline_props =
@@ -239,6 +276,7 @@ let suites =
     ("qcheck.compile", compile_props);
     ("qcheck.run", run_props);
     ("qcheck.runtime", runtime_props);
+    ("qcheck.parallel", parallel_props);
     ("qcheck.baselines", baseline_props);
     ("qcheck.alignment", alignment_props);
     ("qcheck.truncation", truncation_props);

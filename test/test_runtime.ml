@@ -162,6 +162,70 @@ let cache_tests =
         let a2 = Compile.compile b ~vars:[ "x"; "y" ] phi in
         Runtime.set_enabled true;
         check_bool "not shared when disabled" true (a1 != a2));
+    (* Regression: the memo used to evict by Hashtbl.reset when full,
+       dropping every cached FSA at once and severing the physical
+       identity chain the Runtime index cache composes with.  Eviction
+       is now per-entry LRU: a cached automaton survives a flood of
+       unrelated insertions (with == identity intact) as long as it
+       stays recently used. *)
+    tc "LRU memo: an entry survives 64 unrelated insertions" (fun () ->
+        Compile.clear_cache ();
+        let phi = Combinators.equal_s "x" "y" in
+        let a = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let idx = Runtime.index a in
+        for i = 1 to 64 do
+          (* 64 structurally distinct formulae: literal tests on the
+             binary spellings of 1..64 over {a,b}. *)
+          let w =
+            String.init 7 (fun j -> if i land (1 lsl j) <> 0 then 'a' else 'b')
+          in
+          ignore (Compile.compile b ~vars:[ "x" ] (Combinators.literal "x" w))
+        done;
+        let a' = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        check_bool "physically identical after the flood" true (a == a');
+        check_bool "index cache chain intact" true (Runtime.index a' == idx));
+    tc "LRU memo: eviction drops one cold entry, not the table" (fun () ->
+        Compile.clear_cache ();
+        Compile.set_cache_limit 16;
+        Fun.protect
+          ~finally:(fun () -> Compile.set_cache_limit 256)
+          (fun () ->
+            let phi = Combinators.occurs_in "x" "y" in
+            let hot = Compile.compile b ~vars:[ "x"; "y" ] phi in
+            let stats0 = Compile.stats () in
+            for i = 1 to 40 do
+              ignore
+                (Compile.compile b ~vars:[ "x" ]
+                   (Combinators.literal "x"
+                      (String.init 6 (fun j ->
+                           if i land (1 lsl j) <> 0 then 'a' else 'b'))));
+              (* Touch the hot entry so LRU keeps it while cold ones go. *)
+              if Compile.compile b ~vars:[ "x"; "y" ] phi != hot then
+                Alcotest.failf "hot entry evicted at insertion %d" i
+            done;
+            let stats1 = Compile.stats () in
+            check_bool "evictions happened" true
+              (stats1.Compile.evictions > stats0.Compile.evictions);
+            check_bool "cache stayed bounded" true (stats1.Compile.entries <= 16)));
+    tc "cache statistics count hits, misses and entries" (fun () ->
+        Compile.clear_cache ();
+        Runtime.clear_cache ();
+        Compile.reset_stats ();
+        Runtime.reset_stats ();
+        let phi = Combinators.prefix "x" "y" in
+        let a = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let cs = Compile.stats () in
+        check_bool "first compile is a miss" true (cs.Compile.misses >= 1);
+        let _ = Compile.compile b ~vars:[ "x"; "y" ] phi in
+        let cs' = Compile.stats () in
+        check_int "second compile is a hit" (cs.Compile.hits + 1) cs'.Compile.hits;
+        check_bool "entries visible" true (cs'.Compile.entries >= 1);
+        ignore (Run.accepts a [ "a"; "ab" ]);
+        ignore (Run.accepts a [ "a"; "ab" ]);
+        let rs = Runtime.stats () in
+        check_bool "index miss then hit" true
+          (rs.Runtime.misses >= 1 && rs.Runtime.hits >= 1);
+        check_bool "index entries visible" true (rs.Runtime.entries >= 1));
   ]
 
 (* ------------------------------------------------------------ generate *)
