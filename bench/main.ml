@@ -653,6 +653,93 @@ let parallel_bench () =
   close_out oc;
   Printf.printf "  wrote BENCH_parallel.json\n%!"
 
+(* -------------------------------------------------------------------- K1 *)
+
+(* Before/after for the optimize pass + shape-dispatched kernels on the
+   E1 suite (PR 2's single-domain database, so totals compare directly
+   with BENCH_parallel.json's domains=1 figure).  Both sides run the
+   fast runtime; the only difference is STRDB_OPT, flipped at runtime in
+   one process on identical workloads. *)
+let kernel_bench () =
+  B.section "K1 — optimize pass + shape-dispatched kernels on the E1 suite";
+  let min_time = if quick then 0.1 else 0.3 in
+  let db = Workload.genomic_db ~seed:11 ~n:(if quick then 8 else 12) ~len:6 in
+  let queries = e1_queries () in
+  let clear () =
+    Runtime.clear_cache ();
+    Compile.clear_cache ();
+    Optimize.clear_cache ();
+    Limitation.clear_cache ();
+    Generate.clear_spec_cache ()
+  in
+  let run_suite () =
+    List.map
+      (fun (name, free, phi) ->
+        let q = Query.make ~free phi in
+        let dt = B.time_per_run ~min_time (fun () -> Query.run dna db q) in
+        (name, dt))
+      queries
+  in
+  Optimize.set_enabled false;
+  clear ();
+  let before = run_suite () in
+  Optimize.set_enabled true;
+  clear ();
+  let after = run_suite () in
+  (* Kernel/shape selections per query, from the plan annotations. *)
+  let selections =
+    List.map
+      (fun (name, _free, phi) ->
+        let kernels =
+          match Eval.explain dna db phi with
+          | Error e -> [ "rejected: " ^ e ]
+          | Ok steps ->
+              List.filter_map
+                (function
+                  | Eval.Scan _ -> None
+                  | Eval.Filter (_, k) -> Some k
+                  | Eval.Generator (_, _, k) -> Some k)
+                steps
+        in
+        (name, kernels))
+      queries
+  in
+  let total l = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 l in
+  let before_total = total before and after_total = total after in
+  List.iter2
+    (fun ((name, b), (_, a)) (_, kernels) ->
+      Printf.printf "  %-34s before %8.2f ms  after %8.2f ms  %5.2fx  %s\n%!"
+        name (b *. 1e3) (a *. 1e3) (b /. a)
+        (String.concat " | " kernels))
+    (List.combine before after) selections;
+  Printf.printf
+    "  E1 suite: unoptimized %.2f ms, optimized %.2f ms, speedup %.2fx\n%!"
+    (before_total *. 1e3) (after_total *. 1e3)
+    (before_total /. after_total);
+  let oc = open_out "BENCH_kernels.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"kernels\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"e1_suite\": {\n";
+  Printf.fprintf oc "    \"before_ms\": %.2f,\n" (before_total *. 1e3);
+  Printf.fprintf oc "    \"after_ms\": %.2f,\n" (after_total *. 1e3);
+  Printf.fprintf oc "    \"speedup\": %.2f,\n" (before_total /. after_total);
+  Printf.fprintf oc "    \"queries\": [\n";
+  List.iteri
+    (fun i (((name, b), (_, a)), (_, kernels)) ->
+      Printf.fprintf oc
+        "      {\"name\": %S, \"before_ms\": %.2f, \"after_ms\": %.2f, \
+         \"speedup\": %.2f, \"kernels\": [%s]}%s\n"
+        name (b *. 1e3) (a *. 1e3) (b /. a)
+        (String.concat ", " (List.map (Printf.sprintf "%S") kernels))
+        (if i = List.length before - 1 then "" else ","))
+    (List.combine (List.combine before after) selections);
+  Printf.fprintf oc "    ]\n";
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_kernels.json\n%!"
+
 (* ------------------------------------------------------------------- T51 *)
 
 let grammar_bench () =
@@ -759,6 +846,7 @@ let edit_distance_bench () =
 
 let only_runtime = Array.exists (fun a -> a = "runtime") Sys.argv
 let only_parallel = Array.exists (fun a -> a = "parallel") Sys.argv
+let only_kernels = Array.exists (fun a -> a = "kernels") Sys.argv
 
 let () =
   if only_runtime then begin
@@ -771,6 +859,12 @@ let () =
     Printf.printf "strdb benchmark harness — parallel section only (%s mode)\n"
       (if quick then "quick" else "full");
     parallel_bench ();
+    exit 0
+  end;
+  if only_kernels then begin
+    Printf.printf "strdb benchmark harness — kernels section only (%s mode)\n"
+      (if quick then "quick" else "full");
+    kernel_bench ();
     exit 0
   end;
   Printf.printf "strdb benchmark harness — %s mode\n"
@@ -792,4 +886,5 @@ let () =
   lba_bench ();
   runtime_bench ();
   parallel_bench ();
+  kernel_bench ();
   Printf.printf "\nall experiment sections completed.\n"

@@ -245,8 +245,10 @@ let query_cmd =
             List.iter
               (function
                 | Eval.Scan s -> Printf.printf "scan      %s\n" s
-                | Eval.Filter s -> Printf.printf "filter    %s\n" s
-                | Eval.Generator (s, b) -> Printf.printf "generate  %s  [%s]\n" s b)
+                | Eval.Filter (s, k) ->
+                    Printf.printf "filter    %s  (%s)\n" s k
+                | Eval.Generator (s, b, k) ->
+                    Printf.printf "generate  %s  [%s]  (%s)\n" s b k)
               steps;
             0
         | Error e ->

@@ -5,8 +5,8 @@ module Pool = Strdb_util.Pool
 
 type plan_step =
   | Scan of string
-  | Filter of string
-  | Generator of string * string
+  | Filter of string * string
+  | Generator of string * string * string
 
 let skeleton phi =
   let rec strip acc = function
@@ -128,6 +128,50 @@ let describe_conjunct = function
   | F.Not _ as c -> "negation " ^ Strdb_util.Pretty.to_string F.pp c
   | c -> Strdb_util.Pretty.to_string F.pp c
 
+(* Shape-and-size cost of a string-formula conjunct under a variable
+   order: the key for cheap-first conjunct ordering.  One-way automata
+   run the linear frontier kernel, so they filter (and generate) for
+   less than a same-sized two-way automaton; ties break on automaton
+   size.  Compilation is memoized, so planning pays this once. *)
+let conjunct_cost sigma ~vars s =
+  match Strdb_calculus.Compile.compile sigma ~vars s with
+  | exception _ -> (max_int, max_int, max_int)
+  | fsa ->
+      let fsa =
+        if Strdb_fsa.Runtime.enabled () then Strdb_fsa.Optimize.optimized fsa
+        else fsa
+      in
+      ( Strdb_fsa.Optimize.shape_rank (Strdb_fsa.Optimize.shape_of fsa),
+        fsa.Strdb_fsa.Fsa.num_states,
+        Strdb_fsa.Fsa.size fsa )
+
+(* Gated with the rest of the optimization layer: with STRDB_OPT off the
+   planner keeps the original formula order, so before/after benchmarks
+   compare against the unoptimized engine. *)
+let by_cost sigma vars_of l =
+  if not (Strdb_fsa.Optimize.enabled ()) then l
+  else
+    List.stable_sort
+      (fun a b ->
+        compare (conjunct_cost sigma ~vars:(vars_of a) a)
+          (conjunct_cost sigma ~vars:(vars_of b) b))
+      l
+
+(* The shape/kernel annotation shown by [explain]: what the optimized
+   automaton looks like and which acceptance kernel will run on it. *)
+let annotate sigma ~vars ~kernel s =
+  match Strdb_calculus.Compile.compile sigma ~vars s with
+  | exception _ -> "shape unknown (compilation failed)"
+  | fsa ->
+      let fsa =
+        if Strdb_fsa.Runtime.enabled () then Strdb_fsa.Optimize.optimized fsa
+        else fsa
+      in
+      Printf.sprintf "%s; %s" (Strdb_fsa.Optimize.describe fsa)
+        (match kernel with
+        | `Accepts -> Strdb_fsa.Runtime.kernel_name fsa
+        | `Generate -> "lazy enumerator")
+
 (* A fully-bound string-formula conjunct is a σ_A filter: one shared
    compiled FSA, one acceptance run per row.  Resolve the columns once
    and hand the batch to [Run.accepts_batch], which spreads the
@@ -216,17 +260,33 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
         let filters, gens =
           List.partition (fun s -> List.for_all (bound !t) (S.vars s)) !remaining
         in
+        (* Cost-based conjunct ordering: cheap one-way filters run first
+           and shrink the table before expensive two-way ones see it;
+           generator candidates are certified cheapest-first too.  Pure
+           reordering of conjuncts of one conjunction — results are
+           identical for every order. *)
+        let filters = by_cost sigma (fun s -> S.vars s) filters in
+        let gens =
+          by_cost sigma
+            (fun s ->
+              List.filter (bound !t) (S.vars s)
+              @ List.filter (fun v -> not (bound !t v)) (S.vars s))
+            gens
+        in
         if filters <> [] then begin
           List.iter
             (fun s ->
-              record (Filter (describe_conjunct (F.Str s)));
+              record
+                (Filter
+                   ( describe_conjunct (F.Str s),
+                     annotate sigma ~vars:(S.vars s) ~kernel:`Accepts s ));
               if not dry_run then
                 t := { !t with rows = filter_rows_str sigma pool !t s !t.rows })
             filters;
           remaining := gens
         end
         else begin
-          (* Pick the first certifiable generator. *)
+          (* Pick the first (cheapest) certifiable generator. *)
           let rec attempt = function
             | [] ->
                 error :=
@@ -249,7 +309,10 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
                            Printf.sprintf "{%s} ⤳ {%s}, W = %s"
                              (String.concat "," known)
                              (String.concat "," unknown)
-                             b.Strdb_fsa.Limitation.formula ));
+                             b.Strdb_fsa.Limitation.formula,
+                           annotate sigma
+                             ~vars:(known @ unknown)
+                             ~kernel:`Generate s ));
                     if dry_run then t := { !t with cols = !t.cols @ unknown }
                     else begin
                       let known_idx =
@@ -296,7 +359,7 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
                         ("a negated conjunct mentions a variable no positive \
                           conjunct binds: " ^ describe_conjunct c)
                   else begin
-                    record (Filter (describe_conjunct c));
+                    record (Filter (describe_conjunct c, "row predicate"));
                     if not dry_run then
                       t :=
                         { !t with

@@ -40,9 +40,14 @@ val run :
 
 type plan_step =
   | Scan of string  (** join a relational atom. *)
-  | Filter of string  (** a fully-bound string formula or negation. *)
-  | Generator of string * string
-      (** a string formula generating new columns: (description, bound). *)
+  | Filter of string * string
+      (** a fully-bound string formula or negation: (description,
+          shape/kernel annotation — e.g. ["unidirectional, 8 states, 21
+          transitions; one-way frontier"], or ["row predicate"] for a
+          negation). *)
+  | Generator of string * string * string
+      (** a string formula generating new columns: (description, bound,
+          shape/kernel annotation). *)
 
 val explain :
   Strdb_util.Alphabet.t ->

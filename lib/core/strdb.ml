@@ -34,6 +34,7 @@ module Kleene = Strdb_automata.Kleene
 module Symbol = Strdb_fsa.Symbol
 module Fsa = Strdb_fsa.Fsa
 module Runtime = Strdb_fsa.Runtime
+module Optimize = Strdb_fsa.Optimize
 module Run = Strdb_fsa.Run
 module Specialize = Strdb_fsa.Specialize
 module Generate = Strdb_fsa.Generate

@@ -62,7 +62,16 @@ val analyze :
     [inputs] and [outputs] must partition the tapes.  Returns [Error] when
     the FSA is not right-restricted (the problem is then undecidable —
     Theorem 5.1), is not in compiled normal form, or the crossing
-    construction exceeds [max_crossing_states]. *)
+    construction exceeds [max_crossing_states].
+
+    Verdicts are memoized on the FSA's physical identity and the analysis
+    parameters (bounded, domain-safe) while {!Optimize.enabled} — the
+    crossing-sequence construction dominates repeated query planning
+    otherwise.  With the optimization layer disabled every call
+    re-analyzes from scratch. *)
+
+val clear_cache : unit -> unit
+(** Drop memoized verdicts (benchmark hygiene). *)
 
 val limits : Fsa.t -> inputs:int list -> outputs:int list -> bool
 (** [limits a ~inputs ~outputs] is [true] exactly when {!analyze} returns

@@ -19,7 +19,8 @@ let set_enabled b = Atomic.set enabled_flag b
 module Int_set = struct
   type t = { mutable slots : int array; mutable count : int }
 
-  let create () = { slots = Array.make 1024 0; count = 0 }
+  (* [size] must be a power of two (the probe sequence masks). *)
+  let create ?(size = 1024) () = { slots = Array.make size 0; count = 0 }
   let hash k = (k * 0x9E3779B1) lxor (k lsr 16)
 
   let insert slots v =
@@ -74,6 +75,8 @@ type t = {
   dense : int array array;  (* [state·vec_count + code] ↦ indices *)
   sparse : (int, int array) Hashtbl.t;
   use_dense : bool;
+  oneway : bool;  (* Optimize.shape_of = Unidirectional: no head ever
+                     moves left, so acceptance runs the frontier kernel. *)
 }
 
 let no_transitions : int array = [||]
@@ -126,6 +129,7 @@ let build (a : Fsa.t) =
       dense = [||];
       sparse = Hashtbl.create 1;
       use_dense = false;
+      oneway = Optimize.shape_of a = Optimize.Unidirectional;
     }
   in
   if vec_count = 0 then rt
@@ -178,7 +182,24 @@ let outgoing rt q = rt.outgoing.(q)
    the per-FSA index unique from then on. *)
 
 let cache : (Fsa.t * t) list Atomic.t = Atomic.make []
-let cache_limit = 64
+
+(* The bound defaults to the compile memo's size (the index working set
+   is at most one index per live compiled FSA now that one-shot
+   specialised automata build local, uncached indices) and is
+   configurable through STRDB_INDEX_CACHE for unusual workloads. *)
+let default_cache_limit = 256
+
+let cache_limit =
+  Atomic.make
+    (match Sys.getenv_opt "STRDB_INDEX_CACHE" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> default_cache_limit)
+    | None -> default_cache_limit)
+
+let set_cache_limit n = Atomic.set cache_limit (max 1 n)
+let get_cache_limit () = Atomic.get cache_limit
 
 (* Cache statistics, for the benches' hit-rate reports and to make cache
    retention visible (a forever-growing miss count on an alphabet-heavy
@@ -213,8 +234,9 @@ let rec insert_built (a : Fsa.t) rt =
   match List.find_opt (fun (f, _) -> f == a) cur with
   | Some (_, rt') -> rt' (* another domain won the build race *)
   | None ->
-      let dropped = max 0 (List.length cur + 1 - cache_limit) in
-      if Atomic.compare_and_set cache cur (take cache_limit ((a, rt) :: cur))
+      let limit = Atomic.get cache_limit in
+      let dropped = max 0 (List.length cur + 1 - limit) in
+      if Atomic.compare_and_set cache cur (take limit ((a, rt) :: cur))
       then begin
         if dropped > 0 then ignore (Atomic.fetch_and_add evictions dropped);
         rt
@@ -239,6 +261,12 @@ let index (a : Fsa.t) =
       | None ->
           Atomic.incr misses;
           insert_built a (build a))
+
+(* A private index: built fresh, never inserted into (or counted
+   against) the shared cache.  For one-shot automata — per-row Lemma 3.1
+   specialisations in Generate.outputs — whose physical identity never
+   recurs; caching those only evicts the indices that do. *)
+let index_uncached (a : Fsa.t) = build a
 
 let clear_cache () = Atomic.set cache []
 
@@ -295,6 +323,129 @@ let unpack l key =
 
 let bitmap_budget = 1 lsl 24 (* bits: a 2 MB bitmap at most *)
 
+(* The frontier kernel for unidirectional FSAs (every move ∈ {0, +1}).
+   Head-position sums only ever grow, so configurations are processed in
+   levels of equal position-sum — an NFA-style subset simulation over
+   the level frontier.  A key's level is determined by the key (the sum
+   of its positions), so no global visited set is needed: a small
+   per-level set deduplicates the frontier, and a drained level is
+   dropped.  Stationary transitions stay inside the current level and
+   are chased worklist-style (the bucket grows while being scanned). *)
+let oneway_accepts rt (a : Fsa.t) l codes tdelta =
+  let tsum =
+    Array.map
+      (fun (tr : Fsa.transition) -> Array.fold_left ( + ) 0 tr.moves)
+      a.transitions
+  in
+  let max_sum = Array.fold_left (fun acc d -> acc + d - 1) 0 l.dims in
+  let buckets = Array.make (max_sum + 1) [||] in
+  let lens = Array.make (max_sum + 1) 0 in
+  let push s v =
+    let arr = buckets.(s) in
+    let n = lens.(s) in
+    let arr =
+      if n = Array.length arr then begin
+        let bigger = Array.make (max 8 (2 * n)) 0 in
+        Array.blit arr 0 bigger 0 n;
+        buckets.(s) <- bigger;
+        bigger
+      end
+      else arr
+    in
+    arr.(n) <- v;
+    lens.(s) <- n + 1
+  in
+  (* The initial configuration (start, 0, …, 0) packs to the state id. *)
+  push 0 a.start;
+  let pos = Array.make a.arity 0 in
+  let accepted = ref false in
+  let s = ref 0 in
+  while (not !accepted) && !s <= max_sum do
+    if lens.(!s) > 0 then begin
+      let seen = Int_set.create ~size:64 () in
+      let i = ref 0 in
+      while (not !accepted) && !i < lens.(!s) do
+        let key = buckets.(!s).(!i) in
+        incr i;
+        if Int_set.add seen key then begin
+          let state = unpack_into l key pos in
+          let code = ref 0 in
+          Array.iteri
+            (fun t p -> code := !code + (codes.(t).(p) * rt.weights.(t)))
+            pos;
+          let trs = transitions_for rt ~state ~code:!code in
+          if Array.length trs = 0 then begin
+            if a.finals.(state) then accepted := true
+          end
+          else
+            Array.iter
+              (fun t -> push (!s + tsum.(t)) (key + tdelta.(t)))
+              trs
+        end
+      done;
+      buckets.(!s) <- [||]
+    end;
+    incr s
+  done;
+  !accepted
+
+(* The general two-way search: depth-first over packed keys with a
+   visited set (flat bitmap when the key space fits the budget, the
+   open-addressing int set otherwise). *)
+let twoway_accepts rt (a : Fsa.t) l codes tdelta =
+  let visit =
+    if l.total <= bitmap_budget then begin
+      let bm = Bytes.make ((l.total + 7) / 8) '\000' in
+      fun k ->
+        let byte = k lsr 3 and bit = 1 lsl (k land 7) in
+        let cur = Char.code (Bytes.unsafe_get bm byte) in
+        if cur land bit <> 0 then false
+        else begin
+          Bytes.unsafe_set bm byte (Char.unsafe_chr (cur lor bit));
+          true
+        end
+    end
+    else
+      let s = Int_set.create () in
+      fun k -> Int_set.add s k
+  in
+  let stack = ref (Array.make 1024 0) in
+  let top = ref 0 in
+  let push k =
+    if !top = Array.length !stack then begin
+      let bigger = Array.make (2 * !top) 0 in
+      Array.blit !stack 0 bigger 0 !top;
+      stack := bigger
+    end;
+    !stack.(!top) <- k;
+    incr top
+  in
+  let pos = Array.make a.arity 0 in
+  let start = a.start in
+  ignore (visit start);
+  push start;
+  let accepted = ref false in
+  while (not !accepted) && !top > 0 do
+    decr top;
+    let key = !stack.(!top) in
+    let state = unpack_into l key pos in
+    let code = ref 0 in
+    Array.iteri
+      (fun i p -> code := !code + (codes.(i).(p) * rt.weights.(i)))
+      pos;
+    let trs = transitions_for rt ~state ~code:!code in
+    if Array.length trs = 0 then begin
+      if a.finals.(state) then accepted := true
+    end
+    else
+      Array.iter
+        (fun t ->
+          let succ = key + tdelta.(t) in
+          if visit succ then push succ)
+        trs
+  done;
+  !accepted
+
 let try_accepts (a : Fsa.t) ws0 =
   if not (enabled ()) then None
   else
@@ -327,55 +478,20 @@ let try_accepts (a : Fsa.t) ws0 =
                 !d)
               a.transitions
           in
-          let visit =
-            if l.total <= bitmap_budget then begin
-              let bm = Bytes.make ((l.total + 7) / 8) '\000' in
-              fun k ->
-                let byte = k lsr 3 and bit = 1 lsl (k land 7) in
-                let cur = Char.code (Bytes.unsafe_get bm byte) in
-                if cur land bit <> 0 then false
-                else begin
-                  Bytes.unsafe_set bm byte (Char.unsafe_chr (cur lor bit));
-                  true
-                end
-            end
-            else
-              let s = Int_set.create () in
-              fun k -> Int_set.add s k
-          in
-          let stack = ref (Array.make 1024 0) in
-          let top = ref 0 in
-          let push k =
-            if !top = Array.length !stack then begin
-              let bigger = Array.make (2 * !top) 0 in
-              Array.blit !stack 0 bigger 0 !top;
-              stack := bigger
-            end;
-            !stack.(!top) <- k;
-            incr top
-          in
-          let pos = Array.make a.arity 0 in
-          let start = a.start in
-          ignore (visit start);
-          push start;
-          let accepted = ref false in
-          while (not !accepted) && !top > 0 do
-            decr top;
-            let key = !stack.(!top) in
-            let state = unpack_into l key pos in
-            let code = ref 0 in
-            Array.iteri
-              (fun i p -> code := !code + (codes.(i).(p) * rt.weights.(i)))
-              pos;
-            let trs = transitions_for rt ~state ~code:!code in
-            if Array.length trs = 0 then begin
-              if a.finals.(state) then accepted := true
-            end
-            else
-              Array.iter
-                (fun t ->
-                  let succ = key + tdelta.(t) in
-                  if visit succ then push succ)
-                trs
-          done;
-          Some !accepted
+          (* Shape dispatch: the frontier kernel for unidirectional
+             FSAs, the visited-set search otherwise.  Checked at
+             dispatch time (not index-build time) so STRDB_OPT=0
+             reverts cached indexes to the two-way engine too. *)
+          if rt.oneway && Optimize.enabled () then
+            Some (oneway_accepts rt a l codes tdelta)
+          else Some (twoway_accepts rt a l codes tdelta)
+
+(* Which acceptance kernel [try_accepts] would run for this automaton —
+   for Eval.explain and the CLI. *)
+let kernel_name (a : Fsa.t) =
+  if not (enabled ()) then "naive search"
+  else
+    let rt = index a in
+    if not (indexable rt) then "naive search"
+    else if rt.oneway && Optimize.enabled () then "one-way frontier"
+    else "two-way packed"

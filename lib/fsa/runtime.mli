@@ -40,8 +40,22 @@ val index : Fsa.t -> t
     immutable list behind an [Atomic.t]; concurrent lookups never
     block, and racing builders converge on one shared index. *)
 
+val index_uncached : Fsa.t -> t
+(** Build a dispatch index without consulting or populating the cache.
+    For one-shot automata (per-row specialisations in [Generate]) that
+    would otherwise thrash the bounded cache with always-miss
+    insertions. *)
+
 val clear_cache : unit -> unit
 (** Drop all cached indices (benchmark hygiene). *)
+
+val set_cache_limit : int -> unit
+(** Bound on cached indices (clamped to ≥ 1).  The initial value is
+    [STRDB_INDEX_CACHE] from the environment when it parses as a
+    positive int, else 256 — sized so a query suite's compiled working
+    set fits without evictions. *)
+
+val get_cache_limit : unit -> int
 
 type stats = {
   hits : int;  (** [index] calls answered from the cache. *)
@@ -101,7 +115,19 @@ val unpack : layout -> int -> int * int array
 (** {1 Acceptance} *)
 
 val try_accepts : Fsa.t -> string list -> bool option
-(** The packed acceptance search (Theorem 3.3 over int keys).  [None]
-    when the runtime is disabled, the FSA is not indexable, or the input
-    is not packable; the caller then uses the naive search.  Assumes the
-    input was validated ([Run.accepts] does this). *)
+(** The packed acceptance search over int keys, dispatched on shape:
+    unidirectional FSAs (no head ever moves left — {!Optimize.shape_of})
+    run a frontier-based one-way kernel, an NFA-style subset simulation
+    by levels of equal head-position sum that needs no visited set and
+    is linear in total input length for a fixed FSA; everything else
+    runs the general two-way search (Theorem 3.3) with a bitmap or
+    int-set visited set.  [None] when the runtime is disabled, the FSA
+    is not indexable, or the input is not packable; the caller then uses
+    the naive search.  Assumes the input was validated ([Run.accepts]
+    does this). *)
+
+val kernel_name : Fsa.t -> string
+(** Which acceptance kernel {!try_accepts} would run for this automaton
+    ("one-way frontier", "two-way packed", or "naive search" when the
+    runtime is disabled or the FSA is not indexable) — for
+    [Eval.explain] and the CLI. *)

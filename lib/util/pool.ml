@@ -137,8 +137,16 @@ let chunk_size pool n = max 1 (n / (pool.size * 8))
    the work it distributes; stay on the caller. *)
 let min_items_per_domain = 2
 
+(* Absolute floor regardless of pool width: P1 scaling shows wide pools
+   losing to sequential on tiny batches (broadcast + GC barriers dwarf
+   per-item work), so batches this small always stay on the caller. *)
+let small_batch_limit = 32
+
 let parallel_for pool ~lo ~n f =
-  if pool.size = 1 || n - lo <= pool.size * min_items_per_domain then
+  if
+    pool.size = 1
+    || n - lo <= max (pool.size * min_items_per_domain) small_batch_limit
+  then
     for i = lo to n - 1 do
       f i
     done

@@ -51,11 +51,19 @@ val default_domains : unit -> int
     environment when it parses as a positive int, else 1.  CI sets it to
     force the parallel path through the whole test suite. *)
 
+val small_batch_limit : int
+(** Batches of at most this many items run sequentially on the caller no
+    matter how wide the pool is: below it the region broadcast and the
+    cross-domain GC barriers cost more than the work distributes
+    (observed in the P1 scaling bench).  Results are identical either
+    way. *)
+
 val parallel_for : t -> lo:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~n f] runs [f i] for [lo ≤ i < n] across the
-    pool.  [f] must tolerate concurrent invocation on distinct indices.
-    If some [f i] raises, one such exception is re-raised on the caller
-    after the region drains. *)
+    pool (sequentially when [n - lo] is at most {!small_batch_limit} or
+    a per-domain minimum).  [f] must tolerate concurrent invocation on
+    distinct indices.  If some [f i] raises, one such exception is
+    re-raised on the caller after the region drains. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map].  Evaluation order across elements is

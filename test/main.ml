@@ -4,7 +4,8 @@ let () =
   Alcotest.run "strdb"
     (Test_util.suites @ Test_pool.suites @ Test_automata.suites
    @ Test_alignment.suites
-   @ Test_fsa.suites @ Test_runtime.suites @ Test_compile.suites
+   @ Test_fsa.suites @ Test_runtime.suites @ Test_optimize.suites
+   @ Test_compile.suites
    @ Test_decompile.suites
    @ Test_formula.suites @ Test_limitation.suites @ Test_algebra.suites
    @ Test_safety.suites @ Test_encodings.suites @ Test_temporal.suites

@@ -226,6 +226,76 @@ let cache_tests =
         check_bool "index miss then hit" true
           (rs.Runtime.misses >= 1 && rs.Runtime.hits >= 1);
         check_bool "index entries visible" true (rs.Runtime.entries >= 1));
+    tc "index cache limit is configurable" (fun () ->
+        let old = Runtime.get_cache_limit () in
+        Fun.protect
+          ~finally:(fun () -> Runtime.set_cache_limit old)
+          (fun () ->
+            Runtime.set_cache_limit 7;
+            check_int "round trip" 7 (Runtime.get_cache_limit ());
+            Runtime.set_cache_limit 0;
+            check_int "clamped to 1" 1 (Runtime.get_cache_limit ()));
+        check_bool "default sized to the working set" true (old >= 64));
+    tc "E1-style suite runs with <1% index-cache eviction rate" (fun () ->
+        (* The PR 2 bench measured 89k evictions over a 64-entry bound on
+           the E1 sweep: per-row specialized automata (identity-keyed,
+           never seen again) flooded the cache.  With the generate path
+           on uncached local indices and the default bound sized to the
+           compiled working set, a query suite must stay eviction-free
+           to within noise. *)
+        let db = Workload.genomic_db ~seed:11 ~n:6 ~len:5 in
+        let queries =
+          [
+            ( [ "u"; "v" ],
+              Formula.And
+                ( Formula.Rel ("pair", [ "u"; "v" ]),
+                  Formula.Str (Combinators.equal_s "u" "v") ) );
+            ( [ "u"; "v" ],
+              Formula.And
+                ( Formula.Rel ("pair", [ "u"; "v" ]),
+                  Formula.Str (Combinators.occurs_in "u" "v") ) );
+            ( [ "x" ],
+              Formula.exists_many [ "u"; "v" ]
+                (Formula.and_list
+                   [
+                     Formula.Rel ("pair", [ "u"; "v" ]);
+                     Formula.Str (Combinators.concat3 "x" "u" "v");
+                   ]) );
+            (let counting, same_len =
+               Combinators.equal_count_parts "x" "y" "z" 'a' 'c'
+             in
+             ( [ "x" ],
+               Formula.exists_many [ "y"; "z" ]
+                 (Formula.and_list
+                    [
+                      Formula.Rel ("seq", [ "x" ]); Formula.Str counting;
+                      Formula.Str same_len;
+                    ]) ));
+            ( [ "x" ],
+              Formula.Exists
+                ( "y",
+                  Formula.And
+                    ( Formula.Rel ("seq", [ "x" ]),
+                      Formula.Str (Combinators.anbncn "x" "y") ) ) );
+          ]
+        in
+        Runtime.clear_cache ();
+        Compile.clear_cache ();
+        Optimize.clear_cache ();
+        Runtime.reset_stats ();
+        List.iter
+          (fun (free, phi) ->
+            let q = Query.make ~free phi in
+            match Query.run dna db q with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "query rejected: %s" e)
+          queries;
+        let s = Runtime.stats () in
+        let total = s.Runtime.hits + s.Runtime.misses in
+        check_bool "cache saw traffic" true (total > 0);
+        if s.Runtime.evictions * 100 >= total then
+          Alcotest.failf "eviction rate too high: %d evictions / %d lookups"
+            s.Runtime.evictions total);
   ]
 
 (* ------------------------------------------------------------ generate *)
