@@ -740,6 +740,145 @@ let kernel_bench () =
   close_out oc;
   Printf.printf "  wrote BENCH_kernels.json\n%!"
 
+(* -------------------------------------------------------------------- F1 *)
+
+(* Conjunct fusion: σ-products of filters and selection pushdown into
+   certified generators (lib/fsa/product.ml).  Reruns the E1 suite and
+   two fusion-shaped focus queries with STRDB_FUSE flipped at runtime on
+   identical workloads, and reports the product-construction counters
+   (sync vs sequential vs budget fallbacks). *)
+let fusion_bench () =
+  B.section "F1 — conjunct fusion: σ-products + generation pushdown";
+  let min_time = if quick then 0.1 else 0.3 in
+  let db = Workload.genomic_db ~seed:11 ~n:(if quick then 8 else 12) ~len:6 in
+  (* Longer strings for the pushdown query: more prefixes per row for
+     the fused product to prune before materialization. *)
+  let db_long =
+    Workload.genomic_db ~seed:13 ~n:(if quick then 8 else 12)
+      ~len:(if quick then 16 else 24)
+  in
+  let focus =
+    [
+      ( "QF1 prefixes of seq matching (gc+a)*",
+        db_long,
+        [ "x" ],
+        Formula.Exists
+          ( "y",
+            Formula.and_list
+              [
+                Formula.Rel ("seq", [ "y" ]);
+                Formula.Str (Combinators.prefix "x" "y");
+                Formula.Str (Regex_embed.matches "x" (Regex.parse "(gc+a)*"));
+              ] ) );
+      ( "QF2 seqs containing both gc and ca",
+        (* Multi-filter σ-fusion is roughly break-even in this engine:
+           the saved passes are offset by the product's wider per-row
+           frontier, and a selective cheapest-first cascade already skips
+           most of the later passes.  Reported to keep the trade-off
+           visible; the pushdown query above is where fusion pays. *)
+        Workload.genomic_db ~seed:17 ~n:512 ~len:20,
+        [ "x" ],
+        Formula.and_list
+          [
+            Formula.Rel ("seq", [ "x" ]);
+            Formula.Str
+              (Regex_embed.matches "x" (Regex.parse "(a+c+g+t)*gc(a+c+g+t)*"));
+            Formula.Str
+              (Regex_embed.matches "x" (Regex.parse "(a+c+g+t)*ca(a+c+g+t)*"));
+          ] );
+    ]
+  in
+  let clear () =
+    Runtime.clear_cache ();
+    Compile.clear_cache ();
+    Optimize.clear_cache ();
+    Limitation.clear_cache ();
+    Generate.clear_spec_cache ();
+    Product.clear_cache ()
+  in
+  let run_suite () =
+    List.map
+      (fun (name, free, phi) ->
+        let q = Query.make ~free phi in
+        let dt = B.time_per_run ~min_time (fun () -> Query.run dna db q) in
+        (name, dt))
+      (e1_queries ())
+  in
+  let run_focus () =
+    List.map
+      (fun (name, fdb, free, phi) ->
+        let q = Query.make ~free phi in
+        let dt = B.time_per_run ~min_time (fun () -> Query.run dna fdb q) in
+        (name, dt))
+      focus
+  in
+  Product.set_enabled false;
+  clear ();
+  let e1_before = run_suite () in
+  let focus_before = run_focus () in
+  Product.set_enabled true;
+  clear ();
+  Product.reset_stats ();
+  let e1_after = run_suite () in
+  let focus_after = run_focus () in
+  let stats = Product.stats () in
+  let total l = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 l in
+  let e1_bt = total e1_before and e1_at = total e1_after in
+  List.iter2
+    (fun (name, b) (_, a) ->
+      Printf.printf "  %-38s unfused %8.2f ms  fused %8.2f ms  %5.2fx\n%!" name
+        (b *. 1e3) (a *. 1e3) (b /. a))
+    (e1_before @ focus_before)
+    (e1_after @ focus_after);
+  Printf.printf "  E1 suite: unfused %.2f ms, fused %.2f ms, speedup %.2fx\n%!"
+    (e1_bt *. 1e3) (e1_at *. 1e3) (e1_bt /. e1_at);
+  Printf.printf
+    "  products: %d attempts, %d sync, %d sequential, %d budget fallbacks \
+     (budget %d states), %d cache hits\n%!"
+    stats.Product.attempts stats.Product.sync_built stats.Product.seq_built
+    stats.Product.budget_fallbacks (Product.state_budget ())
+    stats.Product.cache_hits;
+  let oc = open_out "BENCH_fusion.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"fusion\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"product_state_budget\": %d,\n" (Product.state_budget ());
+  Printf.fprintf oc "  \"e1_suite\": {\n";
+  Printf.fprintf oc "    \"unfused_ms\": %.2f,\n" (e1_bt *. 1e3);
+  Printf.fprintf oc "    \"fused_ms\": %.2f,\n" (e1_at *. 1e3);
+  Printf.fprintf oc "    \"speedup\": %.2f,\n" (e1_bt /. e1_at);
+  Printf.fprintf oc "    \"queries\": [\n";
+  List.iteri
+    (fun i ((name, b), (_, a)) ->
+      Printf.fprintf oc
+        "      {\"name\": %S, \"unfused_ms\": %.2f, \"fused_ms\": %.2f, \
+         \"speedup\": %.2f}%s\n"
+        name (b *. 1e3) (a *. 1e3) (b /. a)
+        (if i = List.length e1_before - 1 then "" else ","))
+    (List.combine e1_before e1_after);
+  Printf.fprintf oc "    ]\n";
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"focus_queries\": [\n";
+  List.iteri
+    (fun i ((name, b), (_, a)) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"unfused_ms\": %.2f, \"fused_ms\": %.2f, \
+         \"speedup\": %.2f}%s\n"
+        name (b *. 1e3) (a *. 1e3) (b /. a)
+        (if i = List.length focus_before - 1 then "" else ","))
+    (List.combine focus_before focus_after);
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"product_stats\": {\"attempts\": %d, \"sync_built\": %d, \
+     \"seq_built\": %d, \"budget_fallbacks\": %d, \"ineligible\": %d, \
+     \"cache_hits\": %d}\n"
+    stats.Product.attempts stats.Product.sync_built stats.Product.seq_built
+    stats.Product.budget_fallbacks stats.Product.ineligible
+    stats.Product.cache_hits;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_fusion.json\n%!"
+
 (* ------------------------------------------------------------------- T51 *)
 
 let grammar_bench () =
@@ -847,6 +986,7 @@ let edit_distance_bench () =
 let only_runtime = Array.exists (fun a -> a = "runtime") Sys.argv
 let only_parallel = Array.exists (fun a -> a = "parallel") Sys.argv
 let only_kernels = Array.exists (fun a -> a = "kernels") Sys.argv
+let only_fusion = Array.exists (fun a -> a = "fusion") Sys.argv
 
 let () =
   if only_runtime then begin
@@ -865,6 +1005,12 @@ let () =
     Printf.printf "strdb benchmark harness — kernels section only (%s mode)\n"
       (if quick then "quick" else "full");
     kernel_bench ();
+    exit 0
+  end;
+  if only_fusion then begin
+    Printf.printf "strdb benchmark harness — fusion section only (%s mode)\n"
+      (if quick then "quick" else "full");
+    fusion_bench ();
     exit 0
   end;
   Printf.printf "strdb benchmark harness — %s mode\n"
@@ -887,4 +1033,5 @@ let () =
   runtime_bench ();
   parallel_bench ();
   kernel_bench ();
+  fusion_bench ();
   Printf.printf "\nall experiment sections completed.\n"

@@ -26,20 +26,40 @@ let rec quantifier_free = function
   | F.Not a -> quantifier_free a
   | F.Exists _ -> false
 
-(* A working table: the bound columns (variable names, in order) and rows
+(* A working table: the bound columns (variable names, in order), rows
    as arrays — every per-cell access is an O(1) [row.(i)] instead of the
-   former [List.nth]. *)
-type table = { cols : F.var list; rows : string array list }
+   former [List.nth] — and a precomputed column→index map so resolving a
+   variable is a hash probe, not an O(cols) scan per cell access. *)
+type table = {
+  cols : F.var list;
+  index : (F.var, int) Hashtbl.t;
+  rows : string array list;
+}
 
-let col_index t v =
-  let rec go i = function
-    | [] -> None
-    | u :: _ when u = v -> Some i
-    | _ :: rest -> go (i + 1) rest
-  in
-  go 0 t.cols
+let mk_table cols rows =
+  let index = Hashtbl.create (max 8 (2 * List.length cols)) in
+  List.iteri
+    (fun i v -> if not (Hashtbl.mem index v) then Hashtbl.add index v i)
+    cols;
+  { cols; index; rows }
 
-let bound t v = col_index t v <> None
+let col_index t v = Hashtbl.find_opt t.index v
+let bound t v = Hashtbl.mem t.index v
+
+(* Hash-based dedup (first occurrence wins): replaces the former
+   per-join [List.sort_uniq] full sort, O(n log n) with a polymorphic
+   compare per element, with expected O(n).  The final projection still
+   sorts, so query results keep their canonical order. *)
+let dedup_rows rows =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r then false
+      else begin
+        Hashtbl.add seen r ();
+        true
+      end)
+    rows
 
 (* Hash join of the working table with relation [r] on the shared
    columns: index the relation's tuples by their projection onto the
@@ -94,7 +114,7 @@ let join_rel db t (r, args) =
         List.rev_map (fun news -> Array.append row news) (Hashtbl.find_all tbl key))
       t.rows
   in
-  { cols = t.cols @ new_vars; rows = List.sort_uniq compare rows }
+  mk_table (t.cols @ new_vars) (dedup_rows rows)
 
 (* Evaluate a quantifier-free formula on one row. *)
 let rec eval_qf db checker t row = function
@@ -172,12 +192,12 @@ let annotate sigma ~vars ~kernel s =
         | `Accepts -> Strdb_fsa.Runtime.kernel_name fsa
         | `Generate -> "lazy enumerator")
 
-(* A fully-bound string-formula conjunct is a σ_A filter: one shared
-   compiled FSA, one acceptance run per row.  Resolve the columns once
-   and hand the batch to [Run.accepts_batch], which spreads the
-   independent per-row searches over the pool. *)
-let filter_rows_str sigma pool t s rows =
-  let vars = S.vars s in
+(* A σ_A filter over bound columns: one shared FSA (a compiled conjunct
+   or a fused product), one acceptance run per row.  Resolve the columns
+   once and build the batch in a single pass — no intermediate
+   array/list round-trip — then hand it to [Run.accepts_batch], which
+   spreads the independent per-row searches over the pool. *)
+let filter_rows_fsa pool t fsa vars rows =
   let idxs =
     List.map
       (fun v ->
@@ -186,15 +206,74 @@ let filter_rows_str sigma pool t s rows =
         | None -> invalid_arg "Eval: unbound variable in filter")
       vars
   in
-  let fsa = Strdb_calculus.Compile.compile sigma ~vars s in
-  let arr = Array.of_list rows in
-  let tuples = Array.to_list (Array.map (fun row -> List.map (fun i -> row.(i)) idxs) arr) in
+  let tuples = List.map (fun row -> List.map (fun i -> row.(i)) idxs) rows in
   let keep = Strdb_fsa.Run.accepts_batch ~pool fsa tuples in
-  let acc = ref [] in
-  for i = Array.length arr - 1 downto 0 do
-    if keep.(i) then acc := arr.(i) :: !acc
-  done;
-  !acc
+  let i = ref (-1) in
+  List.filter
+    (fun _ ->
+      incr i;
+      keep.(!i))
+    rows
+
+let filter_rows_str sigma pool t s rows =
+  filter_rows_fsa pool t
+    (Strdb_calculus.Compile.compile sigma ~vars:(S.vars s) s)
+    (S.vars s) rows
+
+(* --------------------------------------------------- conjunct fusion *)
+
+(* σ_A(σ_B(e)) = σ_{A×B}(e): greedily fold the cost-ordered filters
+   into merged-frame products (Product.fuse), so each fused group costs
+   one batch pass instead of one per conjunct.  Singleton groups take
+   the classic path; with STRDB_FUSE=0 every group is a singleton and
+   the unfused engine is reproduced exactly. *)
+let fuse_filters sigma filters =
+  let compiled s =
+    match Strdb_calculus.Compile.compile sigma ~vars:(S.vars s) s with
+    | exception _ -> None
+    | fsa -> Some (fsa, S.vars s)
+  in
+  if not (Strdb_fsa.Product.enabled ()) then
+    List.map (fun s -> ([ s ], None)) filters
+  else begin
+    let close cur groups =
+      match cur with
+      | [], _ -> groups
+      | members, fused -> (List.rev members, fused) :: groups
+    in
+    let groups, last =
+      List.fold_left
+        (fun (groups, cur) s ->
+          match compiled s with
+          | None ->
+              (* uncompilable conjunct: isolate it on the classic path *)
+              (close ([ s ], None) (close cur groups), ([], None))
+          | Some cf -> (
+              match cur with
+              | [], _ -> (groups, ([ s ], Some cf))
+              | members, Some pf -> (
+                  match Strdb_fsa.Product.fuse pf cf with
+                  | Some pf' -> (groups, (s :: members, Some pf'))
+                  | None -> (close cur groups, ([ s ], Some cf)))
+              | _ :: _, None -> assert false))
+        ([], ([], None))
+        filters
+    in
+    List.rev (close last groups)
+  end
+
+(* Plan annotation for an already-built (fused) automaton: the shape and
+   state/transition counts of what will actually run, plus the kernel. *)
+let annotate_fsa ~kernel fsa =
+  let fsa =
+    if Strdb_fsa.Runtime.enabled () then Strdb_fsa.Optimize.optimized fsa
+    else fsa
+  in
+  Printf.sprintf "%s; %s"
+    (Strdb_fsa.Optimize.describe fsa)
+    (match kernel with
+    | `Accepts -> Strdb_fsa.Runtime.kernel_name fsa
+    | `Generate -> "lazy enumerator")
 
 (* Try to use [s] as a generator from the current table: returns the
    compiled FSA, the known/unknown split and the per-row output bound. *)
@@ -237,18 +316,18 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
       in
       let steps = ref [] in
       let record s = steps := s :: !steps in
-      let t = ref { cols = []; rows = [ [||] ] } in
+      let t = ref (mk_table [] [ [||] ]) in
       (* 1. Relational joins. *)
       List.iter
         (fun (r, args) ->
           record (Scan (describe_conjunct (F.Rel (r, args))));
           if dry_run then
             t :=
-              { !t with
-                cols =
-                  !t.cols
-                  @ List.sort_uniq compare (List.filter (fun v -> not (bound !t v)) args)
-              }
+              mk_table
+                (!t.cols
+                @ List.sort_uniq compare
+                    (List.filter (fun v -> not (bound !t v)) args))
+                !t.rows
           else t := join_rel db !t (r, args))
         rels;
       (* 2. Saturate over string formulae: filters first, then certified
@@ -274,15 +353,35 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
             gens
         in
         if filters <> [] then begin
+          (* σ-fusion: adjacent fusable filters collapse into one
+             product automaton and one batch pass. *)
           List.iter
-            (fun s ->
-              record
-                (Filter
-                   ( describe_conjunct (F.Str s),
-                     annotate sigma ~vars:(S.vars s) ~kernel:`Accepts s ));
-              if not dry_run then
-                t := { !t with rows = filter_rows_str sigma pool !t s !t.rows })
-            filters;
+            (function
+              | [ s ], _ ->
+                  record
+                    (Filter
+                       ( describe_conjunct (F.Str s),
+                         annotate sigma ~vars:(S.vars s) ~kernel:`Accepts s ));
+                  if not dry_run then
+                    t :=
+                      { !t with rows = filter_rows_str sigma pool !t s !t.rows }
+              | members, Some (pfsa, pframe) ->
+                  record
+                    (Filter
+                       ( Printf.sprintf "σ-fusion of %d conjuncts: %s"
+                           (List.length members)
+                           (String.concat " × "
+                              (List.map
+                                 (fun s -> describe_conjunct (F.Str s))
+                                 members)),
+                         annotate_fsa ~kernel:`Accepts pfsa ));
+                  if not dry_run then
+                    t :=
+                      { !t with
+                        rows = filter_rows_fsa pool !t pfsa pframe !t.rows
+                      }
+              | _ -> assert false)
+            (fuse_filters sigma filters);
           remaining := gens
         end
         else begin
@@ -303,17 +402,63 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
                 match certify_generator sigma !t s with
                 | None -> attempt others
                 | Some (fsa, known, unknown, b) ->
+                    (* Selection pushdown: fuse trailing conjuncts whose
+                       variables the generator binds into the generation
+                       automaton, so candidates a filter would reject
+                       are never materialized.  The frame must stay
+                       known @ unknown (generation specializes a tape
+                       prefix), which holds exactly when the pushed
+                       conjunct's variables are all the generator's; the
+                       per-row bound of the generator factor alone
+                       remains valid, as products only shrink the
+                       output language. *)
+                    let gen_frame = known @ unknown in
+                    let fsa, pushed =
+                      if not (Strdb_fsa.Product.enabled ()) then (fsa, [])
+                      else
+                        List.fold_left
+                          (fun (acc, pushed) s' ->
+                            if
+                              s' == s
+                              || not
+                                   (List.for_all
+                                      (fun v -> List.mem v gen_frame)
+                                      (S.vars s'))
+                            then (acc, pushed)
+                            else
+                              match
+                                Strdb_calculus.Compile.compile sigma
+                                  ~vars:(S.vars s') s'
+                              with
+                              | exception _ -> (acc, pushed)
+                              | fb -> (
+                                  match
+                                    Strdb_fsa.Product.fuse (acc, gen_frame)
+                                      (fb, S.vars s')
+                                  with
+                                  | Some (p, frame) when frame = gen_frame ->
+                                      (p, s' :: pushed)
+                                  | _ -> (acc, pushed)))
+                          (fsa, []) gens
+                    in
+                    let pushed = List.rev pushed in
                     record
                       (Generator
-                         ( describe_conjunct (F.Str s),
+                         ( String.concat " ⋉ σ"
+                             (describe_conjunct (F.Str s)
+                             :: List.map
+                                  (fun s' ->
+                                    Printf.sprintf "[%s]"
+                                      (describe_conjunct (F.Str s')))
+                                  pushed),
                            Printf.sprintf "{%s} ⤳ {%s}, W = %s"
                              (String.concat "," known)
                              (String.concat "," unknown)
                              b.Strdb_fsa.Limitation.formula,
-                           annotate sigma
-                             ~vars:(known @ unknown)
-                             ~kernel:`Generate s ));
-                    if dry_run then t := { !t with cols = !t.cols @ unknown }
+                           if pushed = [] then
+                             annotate sigma ~vars:gen_frame ~kernel:`Generate s
+                           else annotate_fsa ~kernel:`Generate fsa ));
+                    if dry_run then t := mk_table (!t.cols @ unknown) !t.rows
                     else begin
                       let known_idx =
                         List.map (fun v -> Option.get (col_index !t v)) known
@@ -333,9 +478,12 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
                             |> List.map (fun out -> Array.append row (Array.of_list out)))
                           !t.rows
                       in
-                      t := { cols = !t.cols @ unknown; rows = List.sort_uniq compare rows }
+                      t := mk_table (!t.cols @ unknown) (dedup_rows rows)
                     end;
-                    remaining := List.filter (fun s' -> not (s' == s)) !remaining)
+                    remaining :=
+                      List.filter
+                        (fun s' -> not (s' == s) && not (List.memq s' pushed))
+                        !remaining)
           in
           attempt gens
         end

@@ -35,6 +35,7 @@ module Symbol = Strdb_fsa.Symbol
 module Fsa = Strdb_fsa.Fsa
 module Runtime = Strdb_fsa.Runtime
 module Optimize = Strdb_fsa.Optimize
+module Product = Strdb_fsa.Product
 module Run = Strdb_fsa.Run
 module Specialize = Strdb_fsa.Specialize
 module Generate = Strdb_fsa.Generate

@@ -5,6 +5,7 @@ let () =
     (Test_util.suites @ Test_pool.suites @ Test_automata.suites
    @ Test_alignment.suites
    @ Test_fsa.suites @ Test_runtime.suites @ Test_optimize.suites
+   @ Test_product.suites
    @ Test_compile.suites
    @ Test_decompile.suites
    @ Test_formula.suites @ Test_limitation.suites @ Test_algebra.suites
