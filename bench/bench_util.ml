@@ -42,6 +42,15 @@ let time_once f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* The per-query pruning report of the index benches: candidate-set
+   size, the rows a scan would have visited, and their ratio — as a
+   JSON object-body fragment, so every query row carries the same three
+   fields. *)
+let probe_json ~candidates ~total =
+  Printf.sprintf "\"candidates\": %d, \"total\": %d, \"verify_ratio\": %.6f"
+    candidates total
+    (if total = 0 then 1.0 else float_of_int candidates /. float_of_int total)
+
 (* Mean wall-clock seconds per run, repeating for at least [min_time]
    seconds after one warm-up call.  Used where the before/after numbers
    feed BENCH_runtime.json and must be plain floats. *)

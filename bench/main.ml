@@ -696,7 +696,7 @@ let kernel_bench () =
           | Ok steps ->
               List.filter_map
                 (function
-                  | Eval.Scan _ -> None
+                  | Eval.Scan _ | Eval.IndexProbe _ -> None
                   | Eval.Filter (_, k) -> Some k
                   | Eval.Generator (_, _, k) -> Some k)
                 steps
@@ -983,10 +983,223 @@ let edit_distance_bench () =
   in
   B.print_rows ~quota:0.25 tests
 
+(* -------------------------------------------------------------------- S1 *)
+
+(* The factor-indexed store: σ_A selections compiled into q-gram index
+   probes (lib/store) instead of per-row automaton scans.  Three
+   workloads on synthetic DNA databases:
+
+   - Q7 (occurs-in): planted-motif databases, the necessary-factor path
+     through Eval — scan vs probe on identical queries;
+   - Q8 (edit-distance neighbourhood): the q-gram-lemma threshold probe
+     (candidates_atleast) against the specialized 1-tape automaton,
+     measured at the Store layer;
+   - a selectivity sweep: the Q7 speedup as the planted hit rate grows.
+
+   Both paths must return identical answers; each row reports the
+   candidate-set size and verification ratio next to the times. *)
+let index_bench () =
+  B.section "S1 — factor-indexed store: σ-index probes vs per-row scans";
+  let motif = "acgta" in
+  let hit_rate = 0.005 in
+  let len = if quick then 16 else 24 in
+  let sizes = if quick then [ 2_000 ] else [ 100_000; 1_000_000 ] in
+  let min_time = if quick then 0.05 else 0.3 in
+  let any = "(a+c+g+t)*" in
+  let q7 =
+    Formula.And
+      ( Formula.Rel ("seq", [ "x" ]),
+        Formula.Str (Regex_embed.matches "x" (Regex.parse (any ^ motif ^ any)))
+      )
+  in
+  let saved = Store.enabled () in
+  Fun.protect ~finally:(fun () -> Store.set_enabled saved) @@ fun () ->
+  (* --- Q7 through Eval: scan path vs index path ------------------- *)
+  let q7_rows =
+    List.map
+      (fun n ->
+        let db = Workload.planted_motif_db ~seed:101 ~n ~len ~motif ~hit_rate in
+        let st, build = B.time_once (fun () -> Store.create dna db) in
+        Store.set_enabled false;
+        let scan_ans = Eval.run ~store:st dna db ~free:[ "x" ] q7 in
+        let scan = B.time_per_run ~min_time (fun () ->
+            ignore (Eval.run ~store:st dna db ~free:[ "x" ] q7)) in
+        Store.set_enabled true;
+        let index_ans = Eval.run ~store:st dna db ~free:[ "x" ] q7 in
+        if index_ans <> scan_ans then
+          failwith "index bench: Q7 answers differ between scan and probe";
+        Store.reset_probe_stats st;
+        ignore (Eval.run ~store:st dna db ~free:[ "x" ] q7);
+        let stats = Store.probe_stats st in
+        let index = B.time_per_run ~min_time (fun () ->
+            ignore (Eval.run ~store:st dna db ~free:[ "x" ] q7)) in
+        let answers =
+          match scan_ans with Ok rows -> List.length rows | Error _ -> -1
+        in
+        Printf.printf
+          "  Q7 n=%-8d build %7.1f ms  scan %9.2f ms  index %9.2f ms  \
+           %6.1fx  verify %d/%d  answers %d\n%!"
+          n (build *. 1e3) (scan *. 1e3) (index *. 1e3) (scan /. index)
+          stats.Store.candidate_rows stats.Store.scanned_rows answers;
+        (n, build, scan, index, stats, answers))
+      sizes
+  in
+  (* --- Q8 at the Store layer: q-gram-lemma threshold probes -------- *)
+  let q8_len = 12 in
+  let q8_n = if quick then 2_000 else 100_000 in
+  let g = Prng.create 103 in
+  let u = Prng.string g dna q8_len in
+  let q8_db =
+    Database.of_list
+      [
+        ( "seq",
+          List.init q8_n (fun i ->
+              [
+                (if i * (q8_n / 100) / q8_n < (i + 1) * (q8_n / 100) / q8_n
+                 then Workload.mutate g dna ~edits:1 u
+                 else Prng.string g dna q8_len);
+              ]) );
+      ]
+  in
+  let q8_st = Store.create dna q8_db in
+  let q8_strings =
+    List.map (function [ s ] -> s | _ -> assert false)
+      (Database.find q8_db "seq")
+  in
+  let q8_rows =
+    List.map
+      (fun k ->
+        let spec =
+          Specialize.specialize
+            (Compile.compile dna ~vars:[ "x"; "y" ]
+               (Combinators.edit_distance_le "x" "y" k))
+            [ u ]
+        in
+        let accepts s = Run.accepts spec [ s ] in
+        let scan_ans = List.filter accepts q8_strings in
+        let scan =
+          B.time_per_run ~min_time (fun () ->
+              ignore (List.filter accepts q8_strings))
+        in
+        let grams = Store.grams q8_st u in
+        let thr = List.length grams - (k * Store.q q8_st) in
+        let probe () =
+          match
+            Store.candidates_atleast q8_st ~rel:"seq" ~col:0 ~factors:grams
+              ~min_hits:thr
+          with
+          | None -> List.filter accepts q8_strings
+          | Some ids ->
+              List.filter accepts
+                (List.map
+                   (function [ s ] -> s | _ -> assert false)
+                   (Store.select q8_st ~rel:"seq" ~ids))
+        in
+        Store.reset_probe_stats q8_st;
+        let index_ans = probe () in
+        let stats = Store.probe_stats q8_st in
+        if index_ans <> scan_ans then
+          failwith "index bench: Q8 answers differ between scan and probe";
+        let index = B.time_per_run ~min_time (fun () -> ignore (probe ())) in
+        Printf.printf
+          "  Q8 k=%d n=%-8d threshold %2d/%2d grams  scan %9.2f ms  index \
+           %9.2f ms  %6.1fx  verify %d/%d  answers %d\n%!"
+          k q8_n thr (List.length grams) (scan *. 1e3) (index *. 1e3)
+          (scan /. index) stats.Store.candidate_rows stats.Store.scanned_rows
+          (List.length scan_ans);
+        (k, thr, List.length grams, scan, index, stats, List.length scan_ans))
+      [ 1; 2 ]
+  in
+  (* --- selectivity sweep: Q7 speedup vs planted hit rate ----------- *)
+  let sweep_n = if quick then 2_000 else 100_000 in
+  let sweep_rates =
+    if quick then [ 0.01; 0.2 ] else [ 0.0001; 0.001; 0.01; 0.05; 0.2 ]
+  in
+  let sweep_rows =
+    List.map
+      (fun rate ->
+        let db =
+          Workload.planted_motif_db ~seed:107 ~n:sweep_n ~len:20 ~motif
+            ~hit_rate:rate
+        in
+        let st = Store.create dna db in
+        Store.set_enabled false;
+        let scan_ans = Eval.run ~store:st dna db ~free:[ "x" ] q7 in
+        let scan = B.time_per_run ~min_time (fun () ->
+            ignore (Eval.run ~store:st dna db ~free:[ "x" ] q7)) in
+        Store.set_enabled true;
+        let index_ans = Eval.run ~store:st dna db ~free:[ "x" ] q7 in
+        if index_ans <> scan_ans then
+          failwith "index bench: sweep answers differ between scan and probe";
+        Store.reset_probe_stats st;
+        ignore (Eval.run ~store:st dna db ~free:[ "x" ] q7);
+        let stats = Store.probe_stats st in
+        let index = B.time_per_run ~min_time (fun () ->
+            ignore (Eval.run ~store:st dna db ~free:[ "x" ] q7)) in
+        Printf.printf
+          "  sweep rate=%-7g scan %9.2f ms  index %9.2f ms  %6.1fx  verify \
+           %d/%d\n%!"
+          rate (scan *. 1e3) (index *. 1e3) (scan /. index)
+          stats.Store.candidate_rows stats.Store.scanned_rows;
+        (rate, scan, index, stats))
+      sweep_rates
+  in
+  (* --- JSON -------------------------------------------------------- *)
+  let oc = open_out "BENCH_index.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"index\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"q\": %d,\n" (Store.q q8_st);
+  Printf.fprintf oc "  \"motif\": %S,\n" motif;
+  Printf.fprintf oc "  \"q7\": [\n";
+  List.iteri
+    (fun i (n, build, scan, index, stats, answers) ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"hit_rate\": %g, \"len\": %d, \"build_ms\": %.2f, \
+         \"scan_ms\": %.2f, \"index_ms\": %.2f, \"speedup\": %.2f, \
+         \"answers\": %d, %s}%s\n"
+        n hit_rate len (build *. 1e3) (scan *. 1e3) (index *. 1e3)
+        (scan /. index) answers
+        (B.probe_json ~candidates:stats.Store.candidate_rows
+           ~total:stats.Store.scanned_rows)
+        (if i = List.length q7_rows - 1 then "" else ","))
+    q7_rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"q8\": [\n";
+  List.iteri
+    (fun i (k, thr, grams, scan, index, stats, answers) ->
+      Printf.fprintf oc
+        "    {\"k\": %d, \"n\": %d, \"len\": %d, \"threshold\": %d, \
+         \"pattern_grams\": %d, \"scan_ms\": %.2f, \"index_ms\": %.2f, \
+         \"speedup\": %.2f, \"answers\": %d, %s}%s\n"
+        k q8_n q8_len thr grams (scan *. 1e3) (index *. 1e3) (scan /. index)
+        answers
+        (B.probe_json ~candidates:stats.Store.candidate_rows
+           ~total:stats.Store.scanned_rows)
+        (if i = List.length q8_rows - 1 then "" else ","))
+    q8_rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"selectivity\": [\n";
+  List.iteri
+    (fun i (rate, scan, index, stats) ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"hit_rate\": %g, \"scan_ms\": %.2f, \"index_ms\": \
+         %.2f, \"speedup\": %.2f, %s}%s\n"
+        sweep_n rate (scan *. 1e3) (index *. 1e3) (scan /. index)
+        (B.probe_json ~candidates:stats.Store.candidate_rows
+           ~total:stats.Store.scanned_rows)
+        (if i = List.length sweep_rows - 1 then "" else ","))
+    sweep_rows;
+  Printf.fprintf oc "  ]\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_index.json\n%!"
+
 let only_runtime = Array.exists (fun a -> a = "runtime") Sys.argv
 let only_parallel = Array.exists (fun a -> a = "parallel") Sys.argv
 let only_kernels = Array.exists (fun a -> a = "kernels") Sys.argv
 let only_fusion = Array.exists (fun a -> a = "fusion") Sys.argv
+let only_index = Array.exists (fun a -> a = "index") Sys.argv
 
 let () =
   if only_runtime then begin
@@ -1013,6 +1226,12 @@ let () =
     fusion_bench ();
     exit 0
   end;
+  if only_index then begin
+    Printf.printf "strdb benchmark harness — index section only (%s mode)\n"
+      (if quick then "quick" else "full");
+    index_bench ();
+    exit 0
+  end;
   Printf.printf "strdb benchmark harness — %s mode\n"
     (if quick then "quick" else "full");
   fig12 ();
@@ -1034,4 +1253,5 @@ let () =
   parallel_bench ();
   kernel_bench ();
   fusion_bench ();
+  index_bench ();
   Printf.printf "\nall experiment sections completed.\n"

@@ -216,7 +216,16 @@ let query_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan instead of answers.")
   in
-  let run sigma jobs rels free body explain =
+  let index =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Build a q-gram factor index over the relations and let \
+             σ-selections probe it instead of scanning (see \\$STRDB_INDEX, \
+             \\$STRDB_QGRAM).")
+  in
+  let run sigma jobs rels free body explain index =
     guard (fun () ->
       let db =
         Database.of_list
@@ -239,12 +248,15 @@ let query_cmd =
       in
       let phi = Sparser.formula body in
       let free = if free = [] then Formula.free_vars phi else free in
+      let store = if index then Some (Store.create sigma db) else None in
       if explain then begin
-        match Eval.explain sigma db phi with
+        match Eval.explain ?store sigma db phi with
         | Ok steps ->
             List.iter
               (function
                 | Eval.Scan s -> Printf.printf "scan      %s\n" s
+                | Eval.IndexProbe (s, v) ->
+                    Printf.printf "probe     %s  (%s)\n" s v
                 | Eval.Filter (s, k) ->
                     Printf.printf "filter    %s  (%s)\n" s k
                 | Eval.Generator (s, b, k) ->
@@ -256,7 +268,7 @@ let query_cmd =
             1
       end
       else
-        match Eval.run ~domains:jobs sigma db ~free phi with
+        match Eval.run ~domains:jobs ?store sigma db ~free phi with
         | Ok answers ->
             List.iter
               (fun t -> print_endline (String.concat "\t" t))
@@ -277,7 +289,7 @@ let query_cmd =
            `P
              "  'pair(x,y) & S{([x,y]l{x=y})*.[x,y]l{x=y & x=#}}'";
          ])
-    Term.(const run $ sigma_arg $ jobs_arg $ rels $ free $ body $ explain)
+    Term.(const run $ sigma_arg $ jobs_arg $ rels $ free $ body $ explain $ index)
 
 (* --- align ----------------------------------------------------------------- *)
 

@@ -2,9 +2,12 @@ module F = Strdb_calculus.Formula
 module S = Strdb_calculus.Sformula
 module Db = Strdb_calculus.Database
 module Pool = Strdb_util.Pool
+module Store = Strdb_store.Store
+module Factors = Strdb_fsa.Factors
 
 type plan_step =
   | Scan of string
+  | IndexProbe of string * string
   | Filter of string * string
   | Generator of string * string * string
 
@@ -65,7 +68,7 @@ let dedup_rows rows =
    columns: index the relation's tuples by their projection onto the
    already-bound variables, then probe once per row — O(|rel| + |rows| +
    |matches|) instead of the former nested loop. *)
-let join_rel db t (r, args) =
+let join_rel ?tuples db t (r, args) =
   let args_arr = Array.of_list args in
   let m = Array.length args_arr in
   let new_vars =
@@ -91,7 +94,7 @@ let join_rel db t (r, args) =
     |> List.map (fun v -> (first_pos v, Option.get (col_index t v)))
   in
   let new_first = List.map first_pos new_vars in
-  let tuples = Db.find db r in
+  let tuples = match tuples with Some l -> l | None -> Db.find db r in
   let tbl : (string list, string array) Hashtbl.t =
     Hashtbl.create (max 16 (List.length tuples))
   in
@@ -198,22 +201,33 @@ let annotate sigma ~vars ~kernel s =
    array/list round-trip — then hand it to [Run.accepts_batch], which
    spreads the independent per-row searches over the pool. *)
 let filter_rows_fsa pool t fsa vars rows =
-  let idxs =
-    List.map
-      (fun v ->
-        match col_index t v with
-        | Some i -> i
-        | None -> invalid_arg "Eval: unbound variable in filter")
-      vars
-  in
-  let tuples = List.map (fun row -> List.map (fun i -> row.(i)) idxs) rows in
-  let keep = Strdb_fsa.Run.accepts_batch ~pool fsa tuples in
-  let i = ref (-1) in
-  List.filter
-    (fun _ ->
-      incr i;
-      keep.(!i))
-    rows
+  match rows with
+  | [] -> [] (* nothing to scan: skip compilation of the batch entirely *)
+  | _ -> (
+      let idxs =
+        List.map
+          (fun v ->
+            match col_index t v with
+            | Some i -> i
+            | None -> invalid_arg "Eval: unbound variable in filter")
+          vars
+      in
+      match idxs with
+      | [] ->
+          (* Empty frame: the formula is closed, so one acceptance run
+             decides every row at once — no per-row tuples. *)
+          if Strdb_fsa.Run.accepts fsa [] then rows else []
+      | _ ->
+          let tuples =
+            List.map (fun row -> List.map (fun i -> row.(i)) idxs) rows
+          in
+          let keep = Strdb_fsa.Run.accepts_batch ~pool fsa tuples in
+          let i = ref (-1) in
+          List.filter
+            (fun _ ->
+              incr i;
+              keep.(!i))
+            rows)
 
 let filter_rows_str sigma pool t s rows =
   filter_rows_fsa pool t
@@ -291,7 +305,57 @@ let certify_generator sigma t s =
       | Ok (Strdb_fsa.Limitation.Limited b) -> Some (fsa, known, unknown, b)
       | _ -> None)
 
-let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
+(* ------------------------------------------------- σ-index pruning *)
+
+(* Before joining relation [r], turn the single-variable string
+   conjuncts over its columns into index probes: compile each, extract
+   its necessary q-grams (Factors.necessary) and intersect the store's
+   posting lists.  The surviving ids are a superset of the rows any
+   accepted string can come from, so the scan shrinks to them — and
+   since every probed conjunct stays in the pipeline as a filter over
+   the joined column, the survivors are re-verified by the automaton:
+   exactness never depends on the index, only speed does. *)
+let index_prune st sigma strs (r, args) =
+  if not (Store.enabled () && Store.indexed st r) then None
+  else begin
+    let qg = Store.q st in
+    let cand = ref None in
+    let descr = ref [] in
+    List.iteri
+      (fun j v ->
+        List.iter
+          (fun s ->
+            if S.vars s = [ v ] then
+              match Strdb_calculus.Compile.compile sigma ~vars:[ v ] s with
+              | exception _ -> ()
+              | fsa -> (
+                  let fsa =
+                    if Strdb_fsa.Runtime.enabled () then
+                      Strdb_fsa.Optimize.optimized fsa
+                    else fsa
+                  in
+                  match Factors.necessary ~q:qg fsa with
+                  | Factors.Top -> ()
+                  | Factors.Factors fs -> (
+                      match Store.candidates st ~rel:r ~col:j ~factors:fs with
+                      | None -> ()
+                      | Some ids ->
+                          descr :=
+                            Printf.sprintf "%s ⊇ {%s}" v (String.concat "," fs)
+                            :: !descr;
+                          cand :=
+                            Some
+                              (match !cand with
+                              | None -> ids
+                              | Some prev -> Store.intersect_ids prev ids))))
+          strs)
+      args;
+    match !cand with
+    | None -> None
+    | Some ids -> Some (ids, List.rev !descr)
+  end
+
+let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
   if List.sort compare free <> F.free_vars phi then
     Error "free variable list does not match the formula"
   else begin
@@ -317,9 +381,27 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
       let steps = ref [] in
       let record s = steps := s :: !steps in
       let t = ref (mk_table [] [ [||] ]) in
-      (* 1. Relational joins. *)
+      (* 1. Relational joins, behind σ-index pruning when a store for
+         this database is supplied. *)
       List.iter
         (fun (r, args) ->
+          let pruned =
+            match store with
+            | Some st when Store.database st == db -> (
+                match index_prune st sigma strs (r, args) with
+                | Some (ids, descr) -> Some (st, ids, descr)
+                | None -> None)
+            | _ -> None
+          in
+          (match pruned with
+          | Some (st, ids, descr) ->
+              record
+                (IndexProbe
+                   ( Printf.sprintf "σ-index[%s] on %s"
+                       (String.concat "; " descr) r,
+                     Printf.sprintf "verify(%d/%d)" (Array.length ids)
+                       (Store.row_count st r) ))
+          | None -> ());
           record (Scan (describe_conjunct (F.Rel (r, args))));
           if dry_run then
             t :=
@@ -328,7 +410,14 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
                 @ List.sort_uniq compare
                     (List.filter (fun v -> not (bound !t v)) args))
                 !t.rows
-          else t := join_rel db !t (r, args))
+          else begin
+            let tuples =
+              match pruned with
+              | Some (st, ids, _) -> Some (Store.select st ~rel:r ~ids)
+              | None -> None
+            in
+            t := join_rel ?tuples db !t (r, args)
+          end)
         rels;
       (* 2. Saturate over string formulae: filters first, then certified
          generators. *)
@@ -534,16 +623,16 @@ let plan_and_run ?(pool = Pool.sequential) sigma db ~free phi ~dry_run =
     end
   end
 
-let run ?domains sigma db ~free phi =
+let run ?domains ?store sigma db ~free phi =
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
   let pool = if domains <= 1 then Pool.sequential else Pool.get domains in
-  match plan_and_run ~pool sigma db ~free phi ~dry_run:false with
+  match plan_and_run ~pool ?store sigma db ~free phi ~dry_run:false with
   | Ok (_, rows) -> Ok rows
   | Error e -> Error e
 
-let explain sigma db phi =
-  match plan_and_run sigma db ~free:(F.free_vars phi) phi ~dry_run:true with
+let explain ?store sigma db phi =
+  match plan_and_run ?store sigma db ~free:(F.free_vars phi) phi ~dry_run:true with
   | Ok (steps, _) -> Ok steps
   | Error e -> Error e

@@ -23,6 +23,7 @@
 
 val run :
   ?domains:int ->
+  ?store:Strdb_store.Store.t ->
   Strdb_util.Alphabet.t ->
   Strdb_calculus.Database.t ->
   free:Strdb_calculus.Formula.var list ->
@@ -36,10 +37,23 @@ val run :
     {!Strdb_util.Pool} of that many domains.  Defaults to
     [Pool.default_domains ()] (the [STRDB_DOMAINS] environment
     variable, else 1); [1] is fully sequential.  Results are identical
-    for every domain count. *)
+    for every domain count.
+
+    [store] enables σ-index pruning: when the store was built from this
+    very database (physical equality) and [Store.enabled ()] holds, a
+    relation scan first probes the store's q-gram indexes with the
+    necessary factors ({!Strdb_fsa.Factors.necessary}) of each
+    single-variable string conjunct over the scanned columns, and only
+    the candidate rows are joined.  The pruned conjuncts still run as
+    filters over the survivors, so results are identical with or
+    without a store — pruning is a pure optimization. *)
 
 type plan_step =
   | Scan of string  (** join a relational atom. *)
+  | IndexProbe of string * string
+      (** a σ-index probe shrinking the following scan: (description —
+          ["σ-index[x ⊇ {acg,cgt}] on r"], candidate ratio —
+          ["verify(n/N)"]). *)
   | Filter of string * string
       (** a fully-bound string formula or negation: (description,
           shape/kernel annotation — e.g. ["unidirectional, 8 states, 21
@@ -50,8 +64,11 @@ type plan_step =
           shape/kernel annotation). *)
 
 val explain :
+  ?store:Strdb_store.Store.t ->
   Strdb_util.Alphabet.t ->
   Strdb_calculus.Database.t ->
   Strdb_calculus.Formula.t ->
   (plan_step list, string) result
-(** The plan [run] would execute, for inspection and the CLI. *)
+(** The plan [run] would execute, for inspection and the CLI.  With
+    [store], index probes appear with their candidate counts (the probe
+    itself runs even in planning mode). *)

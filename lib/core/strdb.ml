@@ -41,6 +41,7 @@ module Specialize = Strdb_fsa.Specialize
 module Generate = Strdb_fsa.Generate
 module Limitation = Strdb_fsa.Limitation
 module Crossing = Strdb_fsa.Crossing
+module Factors = Strdb_fsa.Factors
 
 (* Alignment calculus. *)
 module Window = Strdb_calculus.Window
@@ -56,6 +57,9 @@ module Temporal = Strdb_calculus.Temporal
 module Seqpred = Strdb_calculus.Seqpred
 module Regex_embed = Strdb_calculus.Regex_embed
 module Sparser = Strdb_calculus.Sparser
+
+(* Indexed storage. *)
+module Store = Strdb_store.Store
 
 (* Alignment algebra. *)
 module Algebra = Strdb_algebra.Algebra
@@ -117,11 +121,15 @@ module Query = struct
       [domains] runs the per-row filter and generator work on a shared
       {!Pool} of that many domains (default: [STRDB_DOMAINS] from the
       environment, else sequential).  Answers are identical for every
-      domain count. *)
-  let run ?domains sigma db q = Eval.run ?domains sigma db ~free:q.free q.body
+      domain count.
+
+      [store] lets σ-selections probe the q-gram factor index instead of
+      scanning (see {!Eval.run}); answers are identical either way. *)
+  let run ?domains ?store sigma db q =
+    Eval.run ?domains ?store sigma db ~free:q.free q.body
 
   (** The plan {!run} would execute. *)
-  let explain sigma db q = Eval.explain sigma db q.body
+  let explain ?store sigma db q = Eval.explain ?store sigma db q.body
 
   (** Evaluate through the literal Theorem 4.2 translation to alignment
       algebra at the inferred limit (Eq. 6) — the semantics {!run} is

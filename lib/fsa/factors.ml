@@ -1,0 +1,111 @@
+module A = Strdb_util.Alphabet
+
+type verdict = Top | Factors of string list
+
+let max_space = 1 lsl 16
+
+(* The KMP ("contains g") DFA transition table over alphabet ranks:
+   [delta.(s * base + r)] is the longest suffix of the consumed text
+   that is a prefix of [g] after reading the rank-[r] character in
+   state [s], for [0 <= s < q]; value [q] means [g] has occurred. *)
+let kmp_delta sigma g =
+  let base = A.size sigma in
+  let q = String.length g in
+  let delta = Array.make (q * base) 0 in
+  let rank_of = Array.map (fun c -> A.rank sigma c) (Array.init q (String.get g)) in
+  (* state 0 *)
+  for r = 0 to base - 1 do
+    delta.(r) <- (if r = rank_of.(0) then 1 else 0)
+  done;
+  (* state s > 0, with x = the failure state of s *)
+  let x = ref 0 in
+  for s = 1 to q - 1 do
+    for r = 0 to base - 1 do
+      delta.((s * base) + r) <-
+        (if r = rank_of.(s) then s + 1 else delta.((!x * base) + r))
+    done;
+    x := delta.((!x * base) + rank_of.(s))
+  done;
+  delta
+
+(* Is there a path from the start to a final state along which the
+   consumed characters avoid [g]?  The product walk advances the KMP
+   state only on consuming transitions (read a character, move right);
+   stationary re-reads and endmarker reads leave it unchanged.  States
+   where the gram completes are dropped — those paths contain [g]. *)
+let avoidable fsa delta base q =
+  let n = fsa.Fsa.num_states in
+  let visited = Bytes.make (n * q) '\000' in
+  let stack = ref [ (fsa.Fsa.start * q) + 0 ] in
+  Bytes.set visited ((fsa.Fsa.start * q) + 0) '\001';
+  let found = ref false in
+  while (not !found) && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | key :: rest ->
+        stack := rest;
+        let s = key / q and k = key mod q in
+        if Fsa.is_final fsa s then found := true
+        else
+          List.iter
+            (fun t ->
+              let k' =
+                match t.Fsa.read.(0) with
+                | Symbol.Chr c when t.Fsa.moves.(0) = 1 ->
+                    delta.((k * base) + A.rank fsa.Fsa.sigma c)
+                | _ -> k
+              in
+              if k' < q then begin
+                let key' = (t.Fsa.dst * q) + k' in
+                if Bytes.get visited key' = '\000' then begin
+                  Bytes.set visited key' '\001';
+                  stack := key' :: !stack
+                end
+              end)
+            (Fsa.outgoing fsa s)
+  done;
+  !found
+
+let in_scope ~q fsa =
+  q >= 1 && fsa.Fsa.arity = 1
+  && Fsa.bidirectional_tapes fsa = []
+  &&
+  let base = A.size fsa.Fsa.sigma in
+  let rec pow acc i = if i = 0 then acc else pow (acc * base) (i - 1) in
+  pow 1 q <= max_space
+
+let is_necessary ~q fsa g =
+  in_scope ~q fsa
+  && String.length g = q
+  && A.contains_string fsa.Fsa.sigma g
+  && not (avoidable fsa (kmp_delta fsa.Fsa.sigma g) (A.size fsa.Fsa.sigma) q)
+
+let necessary ~q fsa =
+  if not (in_scope ~q fsa) then Top
+  else begin
+    let sigma = fsa.Fsa.sigma in
+    let base = A.size sigma in
+    (* Enumerate Σ^q in ascending rank order (odometer over ranks). *)
+    let ranks = Array.make q 0 in
+    let gram () = String.init q (fun i -> A.nth sigma ranks.(i)) in
+    let rec bump i =
+      i >= 0
+      &&
+      if ranks.(i) + 1 < base then begin
+        ranks.(i) <- ranks.(i) + 1;
+        true
+      end
+      else begin
+        ranks.(i) <- 0;
+        bump (i - 1)
+      end
+    in
+    let acc = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      let g = gram () in
+      if not (avoidable fsa (kmp_delta sigma g) base q) then acc := g :: !acc;
+      continue_ := bump (q - 1)
+    done;
+    match List.rev !acc with [] -> Top | fs -> Factors fs
+  end

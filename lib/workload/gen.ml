@@ -43,6 +43,29 @@ let plant_motif g sigma ~motif ~len =
   let left = P.int g (extra + 1) in
   P.string g sigma left ^ motif ^ P.string g sigma (extra - left)
 
+let planted_motif_db ~seed ~n ~len ~motif ~hit_rate =
+  if not (hit_rate >= 0.0 && hit_rate <= 1.0) then
+    invalid_arg "Gen.planted_motif_db: hit_rate outside [0, 1]";
+  if motif = "" then invalid_arg "Gen.planted_motif_db: empty motif";
+  if String.length motif > len then
+    invalid_arg "Gen.planted_motif_db: motif longer than len";
+  A.check_string A.dna motif;
+  let g = P.create seed in
+  let hits = int_of_float (Float.round (hit_rate *. float_of_int n)) in
+  (* Exactly [hits] rows contain the motif, spread evenly over row ids
+     (Bresenham-style), so selectivity is exact, not just expected. *)
+  let is_hit i = i * hits / n < (i + 1) * hits / n in
+  let rec motif_free () =
+    let s = P.string g A.dna len in
+    if Strdb_baselines.Strmatch.occurs ~pattern:motif s then motif_free ()
+    else s
+  in
+  let seqs =
+    List.init n (fun i ->
+        [ (if is_hit i then plant_motif g A.dna ~motif ~len else motif_free ()) ])
+  in
+  Strdb_calculus.Database.of_list [ ("seq", seqs) ]
+
 let pair_db sigma ~seed ~name ~n ~len =
   let g = P.create seed in
   let tuples =

@@ -35,6 +35,22 @@ val plant_motif :
     position — substring-search workloads (Example 7) with guaranteed
     hits. *)
 
+val planted_motif_db :
+  seed:int ->
+  n:int ->
+  len:int ->
+  motif:string ->
+  hit_rate:float ->
+  Strdb_calculus.Database.t
+(** A database with unary relation ["seq"]: [n] DNA strings of length
+    [len] (hits may exceed [len] by nothing — the motif replaces random
+    characters), of which exactly [round (hit_rate·n)] contain [motif]
+    (planted via {!plant_motif}) and the rest are rejection-sampled
+    motif-free.  Hits are spread evenly over row ids.  Selectivity
+    sweeps for the σ-index benches (Section "occurs in", Example 7).
+    @raise Invalid_argument on [hit_rate] outside [\[0,1\]], an empty
+    motif, or [len] shorter than the motif. *)
+
 val pair_db :
   Strdb_util.Alphabet.t ->
   seed:int ->

@@ -10,5 +10,6 @@ let () =
    @ Test_decompile.suites
    @ Test_formula.suites @ Test_limitation.suites @ Test_algebra.suites
    @ Test_safety.suites @ Test_encodings.suites @ Test_temporal.suites
-   @ Test_workload.suites @ Test_queries.suites @ Test_sparser.suites
+   @ Test_workload.suites @ Test_store.suites @ Test_queries.suites
+   @ Test_sparser.suites
    @ Test_qcheck.suites)

@@ -261,6 +261,35 @@ let truncation_props =
         gen = brute);
   ]
 
+let store_props =
+  (* One fixed binary-alphabet relation (lengths 0–6, so some rows have
+     q-grams and some don't) probed by random unidirectional one-variable
+     patterns: the σ-index pruned pipeline must agree with the plain
+     scan pipeline whichever way the STRDB_INDEX toggle points. *)
+  let db =
+    let g = Prng.create 1729 in
+    Database.of_list
+      [ ("r", List.init 24 (fun _ -> [ Prng.string_upto g b 6 ])) ]
+  in
+  let st = Store.create b db in
+  [
+    prop ~count:60 "σ-index pruned filter ≡ full scan"
+      (arb_sformula ~allow_right:false [ "x" ])
+      (fun s ->
+        let phi = Formula.And (Formula.Rel ("r", [ "x" ]), Formula.Str s) in
+        let free = [ "x" ] in
+        let saved = Store.enabled () in
+        Fun.protect
+          ~finally:(fun () -> Store.set_enabled saved)
+          (fun () ->
+            let plain = Eval.run b db ~free phi in
+            Store.set_enabled true;
+            let indexed = Eval.run ~store:st b db ~free phi in
+            Store.set_enabled false;
+            let toggled = Eval.run ~store:st b db ~free phi in
+            indexed = plain && toggled = plain));
+  ]
+
 let parser_props =
   [
     prop ~count:80 "printer/parser round trip preserves semantics"
@@ -280,5 +309,6 @@ let suites =
     ("qcheck.baselines", baseline_props);
     ("qcheck.alignment", alignment_props);
     ("qcheck.truncation", truncation_props);
+    ("qcheck.store", store_props);
     ("qcheck.parser", parser_props);
   ]
