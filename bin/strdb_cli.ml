@@ -6,6 +6,8 @@
      sat      — Theorem 6.5: DIMACS-ish CNF solved as a string query
      limits   — Theorem 5.2: limitation analysis of a named combinator
      query    — parse and evaluate a full alignment-calculus query
+     serve    — answer queries over a Unix socket with a shared plan cache
+     client   — send one protocol line to a running server
      align    — print Fig. 1-style alignments of the given strings *)
 
 open Strdb
@@ -47,6 +49,10 @@ let guard f =
   | Sparser.Parse_error m
   | Database.Schema_error m ->
       Printf.eprintf "strdb: error: %s\n" m;
+      1
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "strdb: error: %s: %s%s\n" fn (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
       1
 
 (* --- match --------------------------------------------------------------- *)
@@ -196,15 +202,35 @@ let limits_cmd =
 
 (* --- query ----------------------------------------------------------------- *)
 
+let parse_rels rels =
+  Database.of_list
+    (List.map
+       (fun spec ->
+         match String.index_opt spec ':' with
+         | None -> failwith ("relation spec needs a colon: " ^ spec)
+         | Some i ->
+             let name = String.sub spec 0 i in
+             let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+             let tuples =
+               if rest = "" then []
+               else
+                 List.map
+                   (fun t -> String.split_on_char ',' t)
+                   (String.split_on_char ';' rest)
+             in
+             (name, tuples))
+       rels)
+
+let rels_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "r"; "relation" ] ~docv:"NAME:TUPLE;TUPLE"
+        ~doc:
+          "A relation, e.g. pair:ab,ba;ca,aa (tuples ';'-separated, \
+           components ','-separated; repeatable).")
+
 let query_cmd =
-  let rels =
-    Arg.(
-      value & opt_all string []
-      & info [ "r"; "relation" ] ~docv:"NAME:TUPLE;TUPLE"
-          ~doc:
-            "A relation, e.g. pair:ab,ba;ca,aa (tuples ';'-separated, \
-             components ','-separated; repeatable).")
-  in
+  let rels = rels_arg in
   let free =
     Arg.(
       value & opt (list string) []
@@ -227,41 +253,14 @@ let query_cmd =
   in
   let run sigma jobs rels free body explain index =
     guard (fun () ->
-      let db =
-        Database.of_list
-          (List.map
-             (fun spec ->
-               match String.index_opt spec ':' with
-               | None -> failwith ("relation spec needs a colon: " ^ spec)
-               | Some i ->
-                   let name = String.sub spec 0 i in
-                   let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
-                   let tuples =
-                     if rest = "" then []
-                     else
-                       List.map
-                         (fun t -> String.split_on_char ',' t)
-                         (String.split_on_char ';' rest)
-                   in
-                   (name, tuples))
-             rels)
-      in
+      let db = parse_rels rels in
       let phi = Sparser.formula body in
       let free = if free = [] then Formula.free_vars phi else free in
       let store = if index then Some (Store.create sigma db) else None in
       if explain then begin
         match Eval.explain ?store sigma db phi with
         | Ok steps ->
-            List.iter
-              (function
-                | Eval.Scan s -> Printf.printf "scan      %s\n" s
-                | Eval.IndexProbe (s, v) ->
-                    Printf.printf "probe     %s  (%s)\n" s v
-                | Eval.Filter (s, k) ->
-                    Printf.printf "filter    %s  (%s)\n" s k
-                | Eval.Generator (s, b, k) ->
-                    Printf.printf "generate  %s  [%s]  (%s)\n" s b k)
-              steps;
+            List.iter (fun s -> print_endline (Plan.step_to_string s)) steps;
             0
         | Error e ->
             prerr_endline e;
@@ -290,6 +289,129 @@ let query_cmd =
              "  'pair(x,y) & S{([x,y]l{x=y})*.[x,y]l{x=y & x=#}}'";
          ])
     Term.(const run $ sigma_arg $ jobs_arg $ rels $ free $ body $ explain $ index)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/strdb.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the server listens on.")
+
+let serve_cmd =
+  let planted =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "planted" ] ~docv:"N,LEN,MOTIF,RATE"
+          ~doc:
+            "Serve the planted-motif workload instead of -r relations: \
+             unary seq with $(docv) rows (e.g. 10000,24,acgta,0.01).")
+  in
+  let index =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Build a q-gram factor index over the served database and let \
+             plans probe it (see \\$STRDB_INDEX, \\$STRDB_QGRAM).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Session worker domains.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int 16
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:
+            "Admitted-but-unserved connection bound; beyond it connections \
+             get a fast BUSY reject.")
+  in
+  let cache_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Prepared-plan cache bound (0 disables).  Defaults to \
+             \\$STRDB_PLAN_CACHE, else 128.")
+  in
+  let run sigma jobs rels planted index workers backlog cache_bound socket =
+    guard (fun () ->
+        let db =
+          match planted with
+          | None -> parse_rels rels
+          | Some spec -> (
+              match String.split_on_char ',' spec with
+              | [ n; len; motif; rate ] ->
+                  Workload.planted_motif_db ~seed:1
+                    ~n:(int_of_string (String.trim n))
+                    ~len:(int_of_string (String.trim len))
+                    ~motif:(String.trim motif)
+                    ~hit_rate:(float_of_string (String.trim rate))
+              | _ -> failwith ("bad --planted spec: " ^ spec))
+        in
+        let store = if index then Some (Store.create sigma db) else None in
+        let cfg =
+          Server.config ~workers ~backlog ~domains:jobs ?cache_bound ?store
+            ~socket sigma db
+        in
+        Printf.printf
+          "strdb serve: listening on %s (workers=%d, backlog=%d, domains=%d%s)\n\
+           %!"
+          socket workers backlog jobs
+          (if index then ", indexed" else "");
+        Server.run_blocking
+          ~on_signal:(fun () -> prerr_endline "strdb serve: shutting down")
+          cfg;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve queries over a Unix socket (shared plan cache)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Line-delimited protocol: QUERY <formula>, \
+              QUERY[v1,...] <formula>, EXPLAIN <formula>, STATS, PING, \
+              QUIT.  Replies are 'OK <n>' plus n payload lines \
+              (tab-separated rows), 'ERR <msg>', or 'BUSY' when the \
+              bounded worker service is saturated.";
+         ])
+    Term.(
+      const run $ sigma_arg $ jobs_arg $ rels_arg $ planted $ index $ workers
+      $ backlog $ cache_bound $ socket_arg)
+
+(* --- client ---------------------------------------------------------------- *)
+
+let client_cmd =
+  let request =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:"One protocol line, e.g. 'QUERY seq(x) & S{...}' or 'STATS'.")
+  in
+  let run socket request =
+    guard (fun () ->
+        let c = Client.connect socket in
+        let r = Client.request c request in
+        Client.close c;
+        match r with
+        | Ok lines ->
+            List.iter print_endline lines;
+            0
+        | Error e ->
+            Printf.eprintf "strdb client: error: %s\n" e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send one request to a running strdb server.")
+    Term.(const run $ socket_arg $ request)
 
 (* --- align ----------------------------------------------------------------- *)
 
@@ -326,4 +448,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "strdb" ~doc)
-          [ match_cmd; editdist_cmd; sat_cmd; limits_cmd; query_cmd; align_cmd ]))
+          [
+            match_cmd;
+            editdist_cmd;
+            sat_cmd;
+            limits_cmd;
+            query_cmd;
+            serve_cmd;
+            client_cmd;
+            align_cmd;
+          ]))

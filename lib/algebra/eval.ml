@@ -5,7 +5,7 @@ module Pool = Strdb_util.Pool
 module Store = Strdb_store.Store
 module Factors = Strdb_fsa.Factors
 
-type plan_step =
+type plan_step = Plan.plan_step =
   | Scan of string
   | IndexProbe of string * string
   | Filter of string * string
@@ -49,6 +49,26 @@ let mk_table cols rows =
 let col_index t v = Hashtbl.find_opt t.index v
 let bound t v = Hashtbl.mem t.index v
 
+(* The dedup key of a row.  The polymorphic [Hashtbl.hash] samples only
+   a bounded prefix of a structure (10 "meaningful" nodes by default),
+   so on wide rows it never looks past the first few columns: a join
+   whose early columns repeat — long shared-prefix DNA strings are the
+   motivating case — hashes thousands of distinct rows to one bucket
+   and dedup degrades toward quadratic.  A length-prefixed
+   concatenation is an injective encoding into [string], whose built-in
+   hash reads every byte. *)
+let row_key (r : string array) =
+  let size = ref (12 * Array.length r) in
+  Array.iter (fun s -> size := !size + String.length s) r;
+  let b = Buffer.create (max 16 !size) in
+  Array.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s)
+    r;
+  Buffer.contents b
+
 (* Hash-based dedup (first occurrence wins): replaces the former
    per-join [List.sort_uniq] full sort, O(n log n) with a polymorphic
    compare per element, with expected O(n).  The final projection still
@@ -57,9 +77,10 @@ let dedup_rows rows =
   let seen = Hashtbl.create 64 in
   List.filter
     (fun r ->
-      if Hashtbl.mem seen r then false
+      let k = row_key r in
+      if Hashtbl.mem seen k then false
       else begin
-        Hashtbl.add seen r ();
+        Hashtbl.add seen k ();
         true
       end)
     rows
@@ -229,11 +250,6 @@ let filter_rows_fsa pool t fsa vars rows =
               keep.(!i))
             rows)
 
-let filter_rows_str sigma pool t s rows =
-  filter_rows_fsa pool t
-    (Strdb_calculus.Compile.compile sigma ~vars:(S.vars s) s)
-    (S.vars s) rows
-
 (* --------------------------------------------------- conjunct fusion *)
 
 (* σ_A(σ_B(e)) = σ_{A×B}(e): greedily fold the cost-ordered filters
@@ -355,12 +371,21 @@ let index_prune st sigma strs (r, args) =
     | Some ids -> Some (ids, List.rev !descr)
   end
 
-let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
+(* ------------------------------------------------- prepare / execute *)
+
+(* Planning never looks at rows: conjunct ordering is shape-and-size
+   cost over compile-memoized automata, generator certification is the
+   Theorem 5.2 analysis of those same automata, and index probes read
+   the immutable store — so a plan built once is exactly the plan
+   [plan_and_run] would rebuild on every call, and executing it later
+   (or concurrently, or repeatedly) yields identical answers.  The
+   planner tracks which variables are bound with a rows-free working
+   table, reusing the execution-side column machinery. *)
+let prepare_unsafe ?store sigma db ~free phi =
   if List.sort compare free <> F.free_vars phi then
     Error "free variable list does not match the formula"
   else begin
     let _qs, conjs = skeleton phi in
-    let checker = F.compiled_checker sigma in
     let non_qf =
       List.exists
         (function
@@ -380,7 +405,11 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
       in
       let steps = ref [] in
       let record s = steps := s :: !steps in
-      let t = ref (mk_table [] [ [||] ]) in
+      let exec = ref [] in
+      let emit s = exec := s :: !exec in
+      (* The binding environment: a working table with no rows. *)
+      let t = ref (mk_table [] []) in
+      let extend cols = t := mk_table (!t.cols @ cols) [] in
       (* 1. Relational joins, behind σ-index pruning when a store for
          this database is supplied. *)
       List.iter
@@ -403,28 +432,21 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
                        (Store.row_count st r) ))
           | None -> ());
           record (Scan (describe_conjunct (F.Rel (r, args))));
-          if dry_run then
-            t :=
-              mk_table
-                (!t.cols
-                @ List.sort_uniq compare
-                    (List.filter (fun v -> not (bound !t v)) args))
-                !t.rows
-          else begin
-            let tuples =
-              match pruned with
-              | Some (st, ids, _) -> Some (Store.select st ~rel:r ~ids)
-              | None -> None
-            in
-            t := join_rel ?tuples db !t (r, args)
-          end)
+          let tuples =
+            match pruned with
+            | Some (st, ids, _) -> Some (Store.select st ~rel:r ~ids)
+            | None -> None
+          in
+          emit (Plan.Join { rel = r; args; tuples });
+          extend
+            (List.sort_uniq compare
+               (List.filter (fun v -> not (bound !t v)) args)))
         rels;
       (* 2. Saturate over string formulae: filters first, then certified
          generators. *)
       let remaining = ref strs in
       let error = ref None in
-      let continue_ = ref true in
-      while !continue_ && !remaining <> [] && !error = None do
+      while !remaining <> [] && !error = None do
         let filters, gens =
           List.partition (fun s -> List.for_all (bound !t) (S.vars s)) !remaining
         in
@@ -451,9 +473,14 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
                     (Filter
                        ( describe_conjunct (F.Str s),
                          annotate sigma ~vars:(S.vars s) ~kernel:`Accepts s ));
-                  if not dry_run then
-                    t :=
-                      { !t with rows = filter_rows_str sigma pool !t s !t.rows }
+                  emit
+                    (Plan.FilterFsa
+                       {
+                         fsa =
+                           Strdb_calculus.Compile.compile sigma
+                             ~vars:(S.vars s) s;
+                         frame = S.vars s;
+                       })
               | members, Some (pfsa, pframe) ->
                   record
                     (Filter
@@ -464,11 +491,7 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
                                  (fun s -> describe_conjunct (F.Str s))
                                  members)),
                          annotate_fsa ~kernel:`Accepts pfsa ));
-                  if not dry_run then
-                    t :=
-                      { !t with
-                        rows = filter_rows_fsa pool !t pfsa pframe !t.rows
-                      }
+                  emit (Plan.FilterFsa { fsa = pfsa; frame = pframe })
               | _ -> assert false)
             (fuse_filters sigma filters);
           remaining := gens
@@ -547,28 +570,8 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
                            if pushed = [] then
                              annotate sigma ~vars:gen_frame ~kernel:`Generate s
                            else annotate_fsa ~kernel:`Generate fsa ));
-                    if dry_run then t := mk_table (!t.cols @ unknown) !t.rows
-                    else begin
-                      let known_idx =
-                        List.map (fun v -> Option.get (col_index !t v)) known
-                      in
-                      (* Each bound row expands independently (Lemma 3.1
-                         specialisation + enumeration): a parallel
-                         concat_map over the pool. *)
-                      let rows =
-                        Pool.concat_map_list pool
-                          (fun row ->
-                            let ins = List.map (fun i -> row.(i)) known_idx in
-                            let per_row_bound =
-                              b.Strdb_fsa.Limitation.eval (List.map String.length ins)
-                            in
-                            Strdb_fsa.Generate.outputs fsa ~inputs:ins
-                              ~max_len:per_row_bound
-                            |> List.map (fun out -> Array.append row (Array.of_list out)))
-                          !t.rows
-                      in
-                      t := mk_table (!t.cols @ unknown) (dedup_rows rows)
-                    end;
+                    emit (Plan.Gen { fsa; known; unknown; bound = b });
+                    extend unknown;
                     remaining :=
                       List.filter
                         (fun s' -> not (s' == s) && not (List.memq s' pushed))
@@ -577,7 +580,6 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
           attempt gens
         end
       done;
-      ignore !continue_;
       match !error with
       | Some e -> Error e
       | None ->
@@ -597,42 +599,106 @@ let plan_and_run ?(pool = Pool.sequential) ?store sigma db ~free phi ~dry_run =
                           conjunct binds: " ^ describe_conjunct c)
                   else begin
                     record (Filter (describe_conjunct c, "row predicate"));
-                    if not dry_run then
-                      t :=
-                        { !t with
-                          rows =
-                            Pool.filter_list pool
-                              (fun row -> eval_qf db checker !t row c)
-                              !t.rows
-                        }
+                    emit (Plan.NegFilter c)
                   end
                 end)
               negs;
             match !neg_error with
             | Some e -> Error e
             | None ->
-                let free_idx =
-                  List.map (fun v -> Option.get (col_index !t v)) free
-                in
-                let project row = List.map (fun i -> row.(i)) free_idx in
                 Ok
-                  ( List.rev !steps,
-                    if dry_run then []
-                    else List.sort_uniq compare (List.map project !t.rows) )
+                  {
+                    Plan.sigma;
+                    db;
+                    free;
+                    checker = F.compiled_checker sigma;
+                    steps = List.rev !exec;
+                    describe = List.rev !steps;
+                  }
           end
     end
   end
+
+(* The plan/execute exception boundary: the signatures advertise
+   [(_, string) result], so nothing user-triggerable may escape as an
+   exception — under the query server an escapee would kill a worker
+   domain instead of producing an [ERR] reply.  Everything the engine
+   raises on bad input funnels through these constructors (arity
+   mismatches and unbound variables as [Invalid_argument], alphabet
+   violations, unknown relations as [Schema_error], hand-built automata
+   as [Ill_formed]). *)
+let guard f =
+  match f () with
+  | r -> r
+  | exception Invalid_argument m -> Error m
+  | exception Failure m -> Error m
+  | exception Strdb_util.Alphabet.Invalid_alphabet m -> Error m
+  | exception Strdb_fsa.Fsa.Ill_formed m -> Error m
+  | exception Db.Schema_error m -> Error m
+
+let prepare ?store sigma db ~free phi =
+  guard (fun () -> prepare_unsafe ?store sigma db ~free phi)
+
+(* Replay a plan: the only pass that touches rows.  Per-execution state
+   is all local (the working table), so one plan may execute on many
+   domains at once — the automata, certificates and pruned tuple lists
+   it closes over are immutable, and the shared caches underneath
+   (compile memo, runtime indexes, checker memo) are domain-safe. *)
+let execute_unsafe pool (p : Plan.t) =
+  let t = ref (mk_table [] [ [||] ]) in
+  List.iter
+    (fun step ->
+      match step with
+      | Plan.Join { rel; args; tuples } ->
+          t := join_rel ?tuples p.Plan.db !t (rel, args)
+      | Plan.FilterFsa { fsa; frame } ->
+          t := { !t with rows = filter_rows_fsa pool !t fsa frame !t.rows }
+      | Plan.Gen { fsa; known; unknown; bound = b } ->
+          let known_idx =
+            List.map (fun v -> Option.get (col_index !t v)) known
+          in
+          (* Each bound row expands independently (Lemma 3.1
+             specialisation + enumeration): a parallel concat_map over
+             the pool. *)
+          let rows =
+            Pool.concat_map_list pool
+              (fun row ->
+                let ins = List.map (fun i -> row.(i)) known_idx in
+                let per_row_bound =
+                  b.Strdb_fsa.Limitation.eval (List.map String.length ins)
+                in
+                Strdb_fsa.Generate.outputs fsa ~inputs:ins
+                  ~max_len:per_row_bound
+                |> List.map (fun out -> Array.append row (Array.of_list out)))
+              !t.rows
+          in
+          t := mk_table (!t.cols @ unknown) (dedup_rows rows)
+      | Plan.NegFilter c ->
+          t :=
+            { !t with
+              rows =
+                Pool.filter_list pool
+                  (fun row -> eval_qf p.Plan.db p.Plan.checker !t row c)
+                  !t.rows
+            })
+    p.Plan.steps;
+  let free_idx = List.map (fun v -> Option.get (col_index !t v)) p.Plan.free in
+  let project row = List.map (fun i -> row.(i)) free_idx in
+  List.sort_uniq compare (List.map project !t.rows)
+
+let execute ?(pool = Pool.sequential) plan =
+  guard (fun () -> Ok (execute_unsafe pool plan))
 
 let run ?domains ?store sigma db ~free phi =
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
   let pool = if domains <= 1 then Pool.sequential else Pool.get domains in
-  match plan_and_run ~pool ?store sigma db ~free phi ~dry_run:false with
-  | Ok (_, rows) -> Ok rows
+  match prepare ?store sigma db ~free phi with
   | Error e -> Error e
+  | Ok plan -> execute ~pool plan
 
 let explain ?store sigma db phi =
-  match plan_and_run ?store sigma db ~free:(F.free_vars phi) phi ~dry_run:true with
-  | Ok (steps, _) -> Ok steps
+  match prepare ?store sigma db ~free:(F.free_vars phi) phi with
+  | Ok plan -> Ok (Plan.explain plan)
   | Error e -> Error e

@@ -19,7 +19,17 @@
 
     Every step is justified by a theorem of the paper; a query outside the
     fragment, or whose variables cannot all be bound, is rejected with an
-    explanation (use {!Safety.evaluate_truncated} for those). *)
+    explanation (use {!Safety.evaluate_truncated} for those).
+
+    Evaluation is split into {!prepare} (build a {!Plan.t}: join order,
+    compiled/fused automata, limitation certificates, index-probe
+    survivors — every data-independent decision) and {!execute} (replay
+    the plan over the rows).  [prepare] then [execute] is exactly {!run};
+    the split is what lets the query server cache prepared plans and
+    execute one plan concurrently from many sessions.  Both halves trap
+    the engine's input-triggered exceptions and return [Error] instead —
+    the result signature is honest even on malformed relations
+    (tuple/atom arity mismatches) or strings outside the alphabet. *)
 
 val run :
   ?domains:int ->
@@ -48,7 +58,43 @@ val run :
     filters over the survivors, so results are identical with or
     without a store — pruning is a pure optimization. *)
 
-type plan_step =
+val prepare :
+  ?store:Strdb_store.Store.t ->
+  Strdb_util.Alphabet.t ->
+  Strdb_calculus.Database.t ->
+  free:Strdb_calculus.Formula.var list ->
+  Strdb_calculus.Formula.t ->
+  (Plan.t, string) result
+(** Plan without touching a row: compile and fuse the automata, order
+    the conjuncts, certify the generators (Theorem 5.2), run the
+    σ-index probes and materialise their survivor tuples.  Everything a
+    plan captures is immutable, so the result may be kept, shared
+    across domains and executed many times; {!Plan.explain} renders it.
+    Rejects queries outside the generator-pipeline fragment, unbindable
+    variables, and malformed input — always as [Error], never as an
+    exception. *)
+
+val execute :
+  ?pool:Strdb_util.Pool.t ->
+  Plan.t ->
+  (Strdb_calculus.Database.tuple list, string) result
+(** Replay a prepared plan over the database it captured.  Answer
+    columns follow the plan's [free] list; sorted, duplicate-free.
+    [pool] (default sequential) spreads the per-row filter and
+    generator work, exactly as [run ~domains] does.  For every query,
+    [prepare] followed by [execute] returns what {!run} returns —
+    including the [Error] cases, which this boundary traps rather than
+    letting engine exceptions escape (a malformed tuple found
+    mid-execution kills no server worker). *)
+
+val dedup_rows : string array list -> string array list
+(** Expected-O(n) row dedup on an explicit injective string key
+    (length-prefixed concatenation — the polymorphic hash only samples
+    a bounded prefix of a row, which collapses wide rows with repeated
+    early columns onto one bucket).  First occurrence wins.  Exposed
+    for the degradation-guard test. *)
+
+type plan_step = Plan.plan_step =
   | Scan of string  (** join a relational atom. *)
   | IndexProbe of string * string
       (** a σ-index probe shrinking the following scan: (description —
@@ -69,6 +115,7 @@ val explain :
   Strdb_calculus.Database.t ->
   Strdb_calculus.Formula.t ->
   (plan_step list, string) result
-(** The plan [run] would execute, for inspection and the CLI.  With
-    [store], index probes appear with their candidate counts (the probe
-    itself runs even in planning mode). *)
+(** The plan [run] would execute, for inspection and the CLI: [prepare]
+    projected through {!Plan.explain}.  With [store], index probes
+    appear with their candidate counts (the probe itself runs at
+    prepare time). *)

@@ -1,0 +1,43 @@
+module F = Strdb_calculus.Formula
+module Db = Strdb_calculus.Database
+
+type plan_step =
+  | Scan of string
+  | IndexProbe of string * string
+  | Filter of string * string
+  | Generator of string * string * string
+
+type exec_step =
+  | Join of {
+      rel : string;
+      args : F.var list;
+      tuples : Db.tuple list option;
+    }
+  | FilterFsa of { fsa : Strdb_fsa.Fsa.t; frame : F.var list }
+  | Gen of {
+      fsa : Strdb_fsa.Fsa.t;
+      known : F.var list;
+      unknown : F.var list;
+      bound : Strdb_fsa.Limitation.bound;
+    }
+  | NegFilter of F.t
+
+type t = {
+  sigma : Strdb_util.Alphabet.t;
+  db : Db.t;
+  free : F.var list;
+  checker : F.checker;
+  steps : exec_step list;
+  describe : plan_step list;
+}
+
+let explain t = t.describe
+let free t = t.free
+let database t = t.db
+let sigma t = t.sigma
+
+let step_to_string = function
+  | Scan s -> Printf.sprintf "scan      %s" s
+  | IndexProbe (s, v) -> Printf.sprintf "probe     %s  (%s)" s v
+  | Filter (s, k) -> Printf.sprintf "filter    %s  (%s)" s k
+  | Generator (s, b, k) -> Printf.sprintf "generate  %s  [%s]  (%s)" s b k

@@ -17,7 +17,9 @@
       expressive-power constructions (Sections 5–6);
     - {!Combinators}, {!Temporal}, {!Seqpred}, {!Regex_embed}: the worked
       examples and derived sub-languages;
-    - {!Query}: a convenience layer used by the examples and the CLI.  *)
+    - {!Query}: a convenience layer used by the examples and the CLI;
+    - {!Plan}, {!Plan_cache}, {!Server}, {!Client}: first-class prepared
+      plans and the [strdb serve] query server built on them.  *)
 
 (* Substrates. *)
 module Alphabet = Strdb_util.Alphabet
@@ -66,6 +68,12 @@ module Algebra = Strdb_algebra.Algebra
 module Translate = Strdb_algebra.Translate
 module Safety = Strdb_algebra.Safety
 module Eval = Strdb_algebra.Eval
+module Plan = Strdb_algebra.Plan
+
+(* Serving. *)
+module Plan_cache = Strdb_server.Plan_cache
+module Server = Strdb_server.Server
+module Client = Strdb_server.Client
 
 (* Expressive power. *)
 module Grammar = Strdb_encodings.Grammar
@@ -130,6 +138,13 @@ module Query = struct
 
   (** The plan {!run} would execute. *)
   let explain ?store sigma db q = Eval.explain ?store sigma db q.body
+
+  (** Plan once ({!Eval.prepare}), keep the plan, {!execute} it at will
+      — what the query server does per cached entry. *)
+  let prepare ?store sigma db q =
+    Eval.prepare ?store sigma db ~free:q.free q.body
+
+  let execute ?pool plan = Eval.execute ?pool plan
 
   (** Evaluate through the literal Theorem 4.2 translation to alignment
       algebra at the inferred limit (Eq. 6) — the semantics {!run} is

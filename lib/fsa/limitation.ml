@@ -477,7 +477,28 @@ let rec take n = function
   | _ when n = 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
-let clear_cache () = Atomic.set cache []
+(* Hit/miss telemetry, so the physical-identity keying is observable: a
+   re-analysis of the very same compile-memoized automaton must count a
+   hit, a structurally-equal clone must count a miss (it is a different
+   automaton as far as [==] is concerned, and deep-comparing whole
+   automata against up to [cache_limit] entries per probe is the
+   pathology the keying avoids). *)
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let cache_stats () =
+  {
+    hits = Atomic.get cache_hits;
+    misses = Atomic.get cache_misses;
+    entries = List.length (Atomic.get cache);
+  }
+
+let clear_cache () =
+  Atomic.set cache [];
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0
 
 let key_eq (f, mcs, mw, ins, outs) (f', mcs', mw', ins', outs') =
   f == f' && mcs = mcs' && mw = mw' && ins = ins' && outs = outs'
@@ -498,8 +519,11 @@ let analyze ?(max_crossing_states = 50000) ?(max_window = 12) (a : Fsa.t)
   else
     let key = (a, max_crossing_states, max_window, inputs, outputs) in
     match List.find_opt (fun (k, _) -> key_eq k key) (Atomic.get cache) with
-    | Some (_, v) -> v
+    | Some (_, v) ->
+        Atomic.incr cache_hits;
+        v
     | None ->
+        Atomic.incr cache_misses;
         insert key (analyze_raw ~max_crossing_states ~max_window a ~inputs ~outputs)
 
 let limits a ~inputs ~outputs =

@@ -71,7 +71,17 @@ val analyze :
     re-analyzes from scratch. *)
 
 val clear_cache : unit -> unit
-(** Drop memoized verdicts (benchmark hygiene). *)
+(** Drop memoized verdicts and reset the counters (benchmark hygiene). *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_stats : unit -> cache_stats
+(** Verdict-memo telemetry.  The memo keys on the automaton's
+    {e physical} identity ([==], like [Optimize.cache]): analyzing the
+    same compile-memoized automaton twice is one miss then one hit,
+    while a structurally-equal clone is a fresh miss — deep-comparing
+    whole automata against every entry per probe is exactly what the
+    keying avoids. *)
 
 val limits : Fsa.t -> inputs:int list -> outputs:int list -> bool
 (** [limits a ~inputs ~outputs] is [true] exactly when {!analyze} returns

@@ -1,0 +1,28 @@
+(** A minimal client for the {!Server} wire protocol — what the CLI's
+    [strdb client], the load-generator bench and the tests speak. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the Unix-domain socket at the given path.
+    @raise Unix.Unix_error when the socket does not exist or refuses. *)
+
+val close : t -> unit
+
+val request : t -> string -> (string list, string) result
+(** Send one raw request line, read one reply: [Ok payload_lines] for
+    [OK <n>], [Error] for [ERR <m>], a [BUSY] reject, or a framing/
+    connection failure. *)
+
+val query :
+  t -> ?free:string list -> string -> (string list list, string) result
+(** [QUERY] (or [QUERY\[free\]]) with rows split on tabs; an empty line
+    decodes as the empty tuple (closed formulae). *)
+
+val explain : t -> string -> (string list, string) result
+(** [EXPLAIN]: the plan, one rendered step per line. *)
+
+val stats : t -> ((string * int) list, string) result
+(** [STATS] parsed into an association list. *)
+
+val ping : t -> bool

@@ -38,6 +38,7 @@ type rel_index = {
 type probe_stats = { probes : int; candidate_rows : int; scanned_rows : int }
 
 type t = {
+  id : int;  (* process-unique stamp; see [id] *)
   db : Db.t;
   sigma : A.t;
   q : int;
@@ -49,8 +50,15 @@ type t = {
   scanned_rows : int Atomic.t;
 }
 
+(* Stores are immutable once built, so a process-unique integer stamp
+   is a faithful stand-in for physical identity — unlike the value
+   itself it can sit inside a structural cache key (the server's plan
+   cache) without dragging deep comparisons of posting arrays along. *)
+let next_id = Atomic.make 0
+
 let database t = t.db
 let sigma t = t.sigma
+let id t = t.id
 let q t = t.q
 let indexed t r = Hashtbl.mem t.rels r
 
@@ -140,6 +148,7 @@ let create ?q sigma db =
       Hashtbl.replace rels r { rows; cols })
     (Db.relations db);
   {
+    id = Atomic.fetch_and_add next_id 1;
     db;
     sigma;
     q;

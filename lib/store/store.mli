@@ -39,6 +39,12 @@ val create : ?q:int -> Strdb_util.Alphabet.t -> Strdb_calculus.Database.t -> t
 val database : t -> Strdb_calculus.Database.t
 val sigma : t -> Strdb_util.Alphabet.t
 
+val id : t -> int
+(** A process-unique stamp assigned at {!create}.  Stores are immutable,
+    so the stamp stands in for physical identity inside structural keys
+    — the server's plan cache keys on it because a plan prepared with a
+    store embeds that store's pruned survivor tuples. *)
+
 val q : t -> int
 (** The gram length actually indexed. *)
 

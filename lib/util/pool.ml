@@ -260,6 +260,99 @@ let get n =
     pool
   end
 
+(* ------------------------------------------------------------------ *)
+(* A task service: long-lived worker domains draining a bounded queue.
+
+   The pool above is the wrong shape for a server's sessions: its
+   regions are serialized per pool and the caller participates, whereas
+   a session occupies a domain for the lifetime of a connection and the
+   acceptor must never block.  A service is the complementary primitive
+   — [submit] either enqueues (bounded) or fails immediately, which is
+   what gives the server its fast BUSY reject instead of an unbounded
+   backlog of parked connections. *)
+
+module Service = struct
+  type t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    ready : Condition.t;  (* create parks here until every worker is idle *)
+    queue : (unit -> unit) Queue.t;
+    bound : int;
+    mutable idle : int;
+    mutable stopped : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let rec worker_loop t =
+    Mutex.lock t.mu;
+    t.idle <- t.idle + 1;
+    Condition.signal t.ready;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.nonempty t.mu
+    done;
+    t.idle <- t.idle - 1;
+    if Queue.is_empty t.queue then
+      (* stopped with the queue drained: die. *)
+      Mutex.unlock t.mu
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      (* Tasks own their errors: a raising task must not kill the
+         worker (the server traps per-session errors itself; this is
+         the last line of defense). *)
+      (try task () with _ -> ());
+      worker_loop t
+    end
+
+  let create ?(workers = 2) ~queue () =
+    let workers = max 1 (min workers max_size) in
+    let t =
+      {
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        ready = Condition.create ();
+        queue = Queue.create ();
+        bound = max 0 queue;
+        idle = 0;
+        stopped = false;
+        workers = [||];
+      }
+    in
+    t.workers <-
+      Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    (* Wait for every worker to park: a zero-bound service must admit a
+       submission issued right after [create] (the first accept must not
+       race worker startup into a spurious reject). *)
+    Mutex.lock t.mu;
+    while t.idle < Array.length t.workers && not t.stopped do
+      Condition.wait t.ready t.mu
+    done;
+    Mutex.unlock t.mu;
+    t
+
+  let workers t = Array.length t.workers
+
+  let submit t task =
+    Mutex.lock t.mu;
+    let accepted =
+      (not t.stopped) && (t.idle > 0 || Queue.length t.queue < t.bound)
+    in
+    if accepted then begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mu;
+    accepted
+
+  let shutdown t =
+    Mutex.lock t.mu;
+    let was = t.stopped in
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu;
+    if not was then Array.iter Domain.join t.workers
+end
+
 (* The engine-wide default domain count: the STRDB_DOMAINS environment
    variable when set to a positive int, else 1 (sequential).  This is
    how CI forces the parallel path through the whole test suite. *)

@@ -78,3 +78,34 @@ val filter_list : t -> ('a -> bool) -> 'a list -> 'a list
 
 val concat_map_list : t -> ('a -> 'b list) -> 'a list -> 'b list
 (** Parallel [List.concat_map] (order of groups preserved). *)
+
+(** Long-lived worker domains draining a bounded task queue — the
+    complementary primitive to the pool above.  Pool regions are
+    serialized and the caller participates; service tasks are
+    independent, may run for a long time (a server session holds its
+    worker for the connection's lifetime), and {!Service.submit} never
+    blocks: it enqueues within the bound or fails immediately, which is
+    how the query server turns overload into a fast [BUSY] reject
+    instead of an unbounded backlog. *)
+module Service : sig
+  type t
+
+  val create : ?workers:int -> queue:int -> unit -> t
+  (** [create ~workers ~queue ()] spawns [workers] (default 2, clamped
+      to [1 ≤ w ≤ 128]) domains and admits at most [queue ≥ 0] tasks
+      beyond the ones the workers are running.  Returns once every
+      worker has parked idle, so a submission issued immediately after
+      is admitted rather than racing worker startup. *)
+
+  val workers : t -> int
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a task: [true] when a worker is idle or the queue has
+      room, [false] (without side effects) when saturated or shut down.
+      Tasks run at most once, in submission order; a task's exceptions
+      are swallowed (trap them yourself for reporting). *)
+
+  val shutdown : t -> unit
+  (** Stop accepting, let the workers drain the queue, join them.
+      Blocks until running tasks finish; idempotent. *)
+end
